@@ -1,0 +1,54 @@
+// Design-choice ablations beyond the paper's tables (DESIGN.md Sec. 5):
+// starting from full DeepGate, each row disables one architectural decision
+// argued for in Sec. III-C:
+//   - skip connections        (reconvergence handling)
+//   - reversed layers         (logic implication direction)
+//   - gate-type refeed        (anti-vanishing input injection)
+//   - random h0               (vs x-padded initialization)
+//   - attention               (vs DeepSet aggregation)
+#include "harness.hpp"
+
+#include <functional>
+
+int main() {
+  using namespace dg;
+  bench::Context ctx = bench::make_context();
+  bench::print_banner("Ablation: DeepGate design choices", ctx);
+
+  std::vector<gnn::CircuitGraph> train_set, test_set;
+  bench::build_split(ctx, train_set, test_set);
+
+  struct Variant {
+    const char* name;
+    std::function<void(gnn::ModelConfig&)> tweak;
+  };
+  const std::vector<Variant> variants = {
+      {"full DeepGate (attention, SC, reverse, refeed)", [](gnn::ModelConfig&) {}},
+      {"- skip connections", [](gnn::ModelConfig& m) { m.use_skip = false; }},
+      {"- reversed layers", [](gnn::ModelConfig& m) { m.reverse = false; }},
+      {"- gate-type refeed", [](gnn::ModelConfig& m) { m.refeed_input = false; }},
+      {"- random h0 (x-padded instead)", [](gnn::ModelConfig& m) { m.random_h0 = false; }},
+      {"- attention (DeepSet aggregation)",
+       [](gnn::ModelConfig& m) { m.agg = gnn::AggKind::kDeepSet; }},
+  };
+
+  util::TextTable table({"Variant", "Avg. Prediction Error", "Train s"});
+  for (const auto& variant : variants) {
+    gnn::ModelConfig cfg = ctx.model;
+    // Full-DeepGate flags as the baseline; each variant flips one of them.
+    cfg.agg = gnn::AggKind::kAttention;
+    cfg.use_skip = true;
+    cfg.reverse = true;
+    cfg.refeed_input = true;
+    cfg.random_h0 = true;
+    variant.tweak(cfg);
+    auto model = gnn::make_recurrent_custom(cfg);
+    const auto result = gnn::train(*model, train_set, ctx.train_config());
+    const double err = gnn::evaluate(*model, test_set);
+    table.add_row({variant.name, util::fmt_fixed(err, 4), util::fmt_fixed(result.seconds, 1)});
+    util::log_info(variant.name, " -> ", util::fmt_fixed(err, 4));
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

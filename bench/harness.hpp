@@ -1,0 +1,96 @@
+// Shared scaffolding for the table-reproduction harnesses. Every bench binary
+// runs standalone with defaults sized for a laptop CPU and honors:
+//   DEEPGATE_SCALE  = tiny | small | paper
+//   DEEPGATE_EPOCHS = <int>
+//   DEEPGATE_SEED   = <uint64>
+#pragma once
+
+#include "data/dataset.hpp"
+#include "gnn/metrics.hpp"
+#include "gnn/models.hpp"
+#include "gnn/trainer.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+struct Context {
+  dg::util::BenchScale scale = dg::util::BenchScale::kSmall;
+  std::uint64_t seed = 1;
+  int epochs = 8;
+  float lr = 2e-3F;
+  dg::gnn::ModelConfig model;
+
+  int batch_circuits = 4;
+
+  dg::gnn::TrainConfig train_config() const {
+    dg::gnn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.lr = lr;
+    cfg.seed = seed;
+    cfg.batch_circuits = batch_circuits;
+    return cfg;
+  }
+};
+
+/// Defaults per scale. At kPaper the hyperparameters follow Sec. IV-B
+/// (d=64, T=10, 60 epochs, lr 1e-4); smaller scales shrink width and epochs
+/// and heat up the learning rate so the relative comparisons still converge.
+inline Context make_context() {
+  Context ctx;
+  ctx.scale = dg::util::bench_scale();
+  ctx.seed = dg::util::env_seed(1);
+  switch (ctx.scale) {
+    case dg::util::BenchScale::kTiny:
+      ctx.model.dim = 16;
+      ctx.model.iterations = 10;
+      ctx.model.mlp_hidden = 12;
+      ctx.epochs = dg::util::env_epochs(15);
+      ctx.lr = 3e-3F;
+      ctx.batch_circuits = 2;
+      break;
+    case dg::util::BenchScale::kSmall:
+      ctx.model.dim = 32;
+      ctx.model.iterations = 10;
+      ctx.model.mlp_hidden = 24;
+      ctx.epochs = dg::util::env_epochs(12);
+      ctx.lr = 2e-3F;
+      ctx.batch_circuits = 4;
+      break;
+    case dg::util::BenchScale::kPaper:
+      ctx.model.dim = 64;
+      ctx.model.iterations = 10;
+      ctx.model.mlp_hidden = 32;
+      ctx.epochs = dg::util::env_epochs(60);
+      ctx.lr = 1e-4F;
+      break;
+  }
+  ctx.model.seed = ctx.seed + 1000;
+  return ctx;
+}
+
+inline void print_banner(const char* title, const Context& ctx) {
+  std::printf("=== %s ===\n", title);
+  std::printf("scale=%s  d=%d  T=%d  epochs=%d  lr=%g  seed=%llu\n\n",
+              dg::util::bench_scale_name(ctx.scale), ctx.model.dim, ctx.model.iterations,
+              ctx.epochs, static_cast<double>(ctx.lr),
+              static_cast<unsigned long long>(ctx.seed));
+}
+
+/// Build the shared training dataset and split it 90/10 like the paper.
+inline void build_split(const Context& ctx, std::vector<dg::gnn::CircuitGraph>& train,
+                        std::vector<dg::gnn::CircuitGraph>& test,
+                        dg::data::Dataset* full = nullptr) {
+  dg::data::DatasetConfig cfg = dg::data::default_dataset_config(ctx.scale, ctx.seed);
+  dg::data::Dataset ds = dg::data::build_dataset(cfg);
+  ds.split(0.9, ctx.seed + 7, train, test);
+  std::printf("dataset: %zu circuits (%zu train / %zu test)\n\n", ds.graphs.size(),
+              train.size(), test.size());
+  if (full != nullptr) *full = std::move(ds);
+}
+
+}  // namespace bench

@@ -1,0 +1,112 @@
+// Microbenchmarks of the neural substrate: the kernels dominating DeepGate's
+// training/inference time — matmul, GRU steps, attention aggregation, full
+// model forward and forward+backward.
+#include <benchmark/benchmark.h>
+
+#include "aig/gate_graph.hpp"
+#include "data/generators_large.hpp"
+#include "gnn/models.hpp"
+#include "nn/gru.hpp"
+#include "nn/init.hpp"
+#include "nn/kernels.hpp"
+#include "nn/ops.hpp"
+#include "sim/probability.hpp"
+#include "synth/optimize.hpp"
+
+namespace {
+
+using namespace dg;
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  const nn::Matrix a = nn::normal(n, 64, 1.0F, rng);
+  const nn::Matrix b = nn::normal(64, 64, 1.0F, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::kern::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GruForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  nn::GruCell gru(67, 64, rng);  // 64 + 3 one-hot, DeepGate's input width
+  const nn::Tensor x = nn::constant(nn::normal(batch, 67, 1.0F, rng));
+  const nn::Tensor h = nn::constant(nn::normal(batch, 64, 1.0F, rng));
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.forward(x, h));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_GruForward)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_AttentionAggregate(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const int dst = edges / 2;
+  util::Rng rng(3);
+  auto agg = gnn::make_aggregator(gnn::AggKind::kAttention, 64, 16, rng);
+  const nn::Tensor h_src = nn::constant(nn::normal(edges, 64, 1.0F, rng));
+  const nn::Tensor h_query = nn::constant(nn::normal(dst, 64, 1.0F, rng));
+  std::vector<int> seg(static_cast<std::size_t>(edges));
+  for (int e = 0; e < edges; ++e) seg[static_cast<std::size_t>(e)] = e % dst;
+  std::vector<float> inv(static_cast<std::size_t>(dst), 0.5F);
+  const nn::Tensor inv_deg = nn::constant(nn::Matrix::from_vector(dst, 1, inv));
+  nn::Tensor pe;
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg->forward(h_src, h_query, seg, dst, inv_deg, pe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * edges);
+}
+BENCHMARK(BM_AttentionAggregate)->Arg(64)->Arg(1024)->Arg(8192);
+
+const gnn::CircuitGraph& shared_graph() {
+  static const gnn::CircuitGraph g = [] {
+    const aig::Aig a = synth::optimize(data::gen_multiplier(12));
+    const aig::GateGraph gg = aig::to_gate_graph(a);
+    return gnn::CircuitGraph::from_gate_graph(gg,
+                                              sim::gate_graph_probabilities(gg, 10000, 5));
+  }();
+  return g;
+}
+
+void BM_DeepGateInference(benchmark::State& state) {
+  gnn::ModelConfig cfg;
+  cfg.dim = 32;
+  cfg.iterations = static_cast<int>(state.range(0));
+  cfg.use_skip = true;
+  auto model = gnn::make_deepgate(cfg);
+  const gnn::CircuitGraph& g = shared_graph();
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * g.num_nodes);
+}
+BENCHMARK(BM_DeepGateInference)->Arg(1)->Arg(10);
+
+void BM_DeepGateTrainStep(benchmark::State& state) {
+  gnn::ModelConfig cfg;
+  cfg.dim = 32;
+  cfg.iterations = 5;
+  cfg.use_skip = true;
+  auto model = gnn::make_deepgate(cfg);
+  const gnn::CircuitGraph& g = shared_graph();
+  const nn::Matrix target =
+      nn::Matrix::from_vector(g.num_nodes, 1, std::vector<float>(g.labels));
+  for (auto _ : state) {
+    const nn::Tensor loss = nn::l1_loss(model->predict(g), target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+    for (auto& [name, t] : model->named_params()) t.zero_grad();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * g.num_nodes);
+}
+BENCHMARK(BM_DeepGateTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

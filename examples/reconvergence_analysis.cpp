@@ -1,0 +1,97 @@
+// Reconvergence analysis: the paper's core structural argument, demonstrated.
+//
+// The classic independence-assuming probability propagation (COP) is exact on
+// trees but systematically wrong under reconvergent fanout. This example
+// builds a reconvergence-heavy arbiter, quantifies COP's error against
+// simulation ground truth, shows the error concentrates on reconvergence
+// nodes, and shows a trained DeepGate (whose skip connections target exactly
+// those nodes) closing the gap.
+#include "analysis/cop.hpp"
+#include "analysis/reconvergence.hpp"
+#include "analysis/stats.hpp"
+#include "aig/gate_graph.hpp"
+#include "core/deepgate.hpp"
+#include "sim/probability.hpp"
+#include "data/dataset.hpp"
+#include "data/generators_large.hpp"
+#include "gnn/trainer.hpp"
+#include "synth/optimize.hpp"
+#include "synth/sweep.hpp"
+
+#include <cstdio>
+#include <set>
+
+int main() {
+  using namespace dg;
+
+  // A moderately sized round-robin arbiter: repetitive units, shared request
+  // lines, pointer masking — reconvergence everywhere.
+  aig::Aig arb = synth::drop_constant_outputs(synth::optimize(data::gen_arbiter(48, 2)));
+  const aig::GateGraph g = aig::to_gate_graph(arb);
+  const auto stats = analysis::compute_stats(g);
+  std::printf("arbiter: %zu nodes, depth %d, %zu fanout stems, %zu reconvergence nodes "
+              "(%.0f%% of all nodes)\n\n",
+              stats.num_nodes, stats.depth, stats.num_fanout_stems, stats.num_reconv_nodes,
+              100.0 * static_cast<double>(stats.num_reconv_nodes) /
+                  static_cast<double>(stats.num_nodes));
+
+  // Ground truth vs COP.
+  const auto truth = sim::gate_graph_probabilities(g, 200000, 7);
+  const auto cop = analysis::cop_probabilities(g);
+  const auto skips = analysis::find_reconvergences(g);
+  std::set<int> reconv_nodes;
+  for (const auto& e : skips) reconv_nodes.insert(e.dst);
+
+  double err_reconv = 0.0, err_other = 0.0;
+  std::size_t n_reconv = 0, n_other = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    const double e = std::abs(cop[v] - truth[v]);
+    if (reconv_nodes.count(static_cast<int>(v))) {
+      err_reconv += e;
+      ++n_reconv;
+    } else {
+      err_other += e;
+      ++n_other;
+    }
+  }
+  std::printf("COP (independence assumption) vs simulation:\n");
+  std::printf("  avg |error| on reconvergence nodes: %.4f (n=%zu)\n",
+              err_reconv / static_cast<double>(n_reconv), n_reconv);
+  std::printf("  avg |error| on all other nodes:     %.4f (n=%zu)\n\n",
+              err_other / static_cast<double>(n_other), n_other);
+
+  // Train DeepGate on small circuits, then predict the arbiter.
+  std::printf("training DeepGate on small sub-circuits...\n");
+  data::DatasetConfig cfg = data::default_dataset_config(util::BenchScale::kTiny, 11);
+  cfg.sim_patterns = 50000;
+  const data::Dataset ds = data::build_dataset(cfg);
+
+  deepgate::Options opt;
+  opt.model.dim = 24;
+  opt.model.iterations = 8;
+  deepgate::Engine engine(opt);
+  deepgate::TrainConfig tc;
+  tc.epochs = 12;
+  tc.lr = 3e-3F;
+  engine.train(ds.graphs, tc);
+
+  const deepgate::CircuitGraph arb_graph =
+      deepgate::CircuitGraph::from_gate_graph(g, truth);
+  const auto pred = engine.predict_probabilities(arb_graph);
+  double dg_reconv = 0.0, dg_other = 0.0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    const double e = std::abs(static_cast<double>(pred[v]) - truth[v]);
+    if (reconv_nodes.count(static_cast<int>(v)))
+      dg_reconv += e;
+    else
+      dg_other += e;
+  }
+  std::printf("\nDeepGate (trained on sub-circuits only) vs simulation:\n");
+  std::printf("  avg |error| on reconvergence nodes: %.4f\n",
+              dg_reconv / static_cast<double>(n_reconv));
+  std::printf("  avg |error| on all other nodes:     %.4f\n",
+              dg_other / static_cast<double>(n_other));
+  std::printf("\nCOP cannot see through reconvergence by construction; DeepGate's skip\n"
+              "connections feed fanout-stem state directly to reconvergence nodes.\n");
+  return 0;
+}

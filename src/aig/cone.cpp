@@ -1,0 +1,67 @@
+#include "aig/cone.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace dg::aig {
+
+Aig extract_cone(const Aig& src, const std::vector<Lit>& roots, const ConeOptions& opts) {
+  const std::vector<int> src_levels = src.levels();
+
+  // BFS upward from the roots, collecting AND vars until the budget is hit.
+  // BFS (rather than DFS) keeps the window "round": it truncates the deepest
+  // logic first, which mimics a depth-bounded window.
+  std::vector<char> collected(src.num_vars(), 0);
+  std::queue<Var> frontier;
+  std::size_t and_count = 0;
+  int min_root_level = 0;
+  for (Lit r : roots) {
+    const Var v = lit_var(r);
+    min_root_level = std::max(min_root_level, src_levels[v]);
+    if (src.is_and(v) && !collected[v]) {
+      collected[v] = 1;
+      ++and_count;
+      frontier.push(v);
+    }
+  }
+  while (!frontier.empty() && and_count < opts.max_ands) {
+    const Var v = frontier.front();
+    frontier.pop();
+    for (Lit f : {src.fanin0(v), src.fanin1(v)}) {
+      const Var u = lit_var(f);
+      if (!src.is_and(u) || collected[u]) continue;
+      if (opts.max_depth > 0 && min_root_level - src_levels[u] > opts.max_depth) continue;
+      collected[u] = 1;
+      ++and_count;
+      frontier.push(u);
+      if (and_count >= opts.max_ands) break;
+    }
+  }
+
+  // Rebuild in topological order (var id order suffices).
+  Aig dst;
+  std::unordered_map<Var, Lit> map;  // src var -> dst literal
+  auto dst_lit = [&](Lit src_lit) -> Lit {
+    const Var v = lit_var(src_lit);
+    if (v == 0) return src_lit;  // constants stay constants
+    auto it = map.find(v);
+    if (it == map.end()) {
+      // Out-of-window or primary input: becomes a fresh PI.
+      const Lit pi = make_lit(dst.add_input(), false);
+      it = map.emplace(v, pi).first;
+    }
+    return it->second ^ (src_lit & 1U);
+  };
+
+  for (Var v = 0; v < src.num_vars(); ++v) {
+    if (!collected[v]) continue;
+    const Lit f0 = dst_lit(src.fanin0(v));
+    const Lit f1 = dst_lit(src.fanin1(v));
+    map[v] = dst.add_and(f0, f1);
+  }
+  for (Lit r : roots) dst.add_output(dst_lit(r));
+  return dst;
+}
+
+}  // namespace dg::aig

@@ -1,0 +1,26 @@
+// Transitive-fanin cone extraction — the sub-circuit windowing step of the
+// paper's data pipeline ("If the original circuit is too large, we extract
+// small sub-circuits with circuit sizes ranging from 30 to 3k gates",
+// Sec. III-B). Nodes whose fanins fall outside the selected window become
+// fresh primary inputs of the extracted AIG.
+#pragma once
+
+#include "aig/aig.hpp"
+
+#include <vector>
+
+namespace dg::aig {
+
+struct ConeOptions {
+  /// Stop growing the window once this many AND nodes were collected.
+  std::size_t max_ands = 3000;
+  /// Optional cap on the depth of the window below each root (0 = no cap).
+  int max_depth = 0;
+};
+
+/// Extract the (possibly truncated) transitive fanin cone of `roots` into a
+/// fresh AIG. Every collected AND whose fanin was not collected reads from a
+/// newly created PI instead. The root literals become the outputs, in order.
+Aig extract_cone(const Aig& src, const std::vector<Lit>& roots, const ConeOptions& opts);
+
+}  // namespace dg::aig

@@ -1,0 +1,74 @@
+#include "aig/gate_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dg::aig {
+
+std::vector<std::vector<int>> GateGraph::fanouts() const {
+  std::vector<std::vector<int>> fo(size());
+  for (std::size_t v = 0; v < size(); ++v) {
+    for (int s = 0; s < 2; ++s) {
+      const int f = fanin[v][s];
+      if (f >= 0) fo[static_cast<std::size_t>(f)].push_back(static_cast<int>(v));
+    }
+  }
+  return fo;
+}
+
+std::array<std::size_t, 3> GateGraph::kind_counts() const {
+  std::array<std::size_t, 3> c{0, 0, 0};
+  for (GateKind k : kind) ++c[static_cast<std::size_t>(k)];
+  return c;
+}
+
+GateGraph to_gate_graph(const Aig& aig) {
+  if (aig.uses_constants())
+    throw std::invalid_argument(
+        "to_gate_graph: AIG uses constant node; run constant propagation first");
+
+  GateGraph g;
+  // node id of the positive (non-complemented) form of each AIG var
+  std::vector<int> pos_node(aig.num_vars(), -1);
+  // node id of the NOT of each var, created lazily and shared
+  std::vector<int> neg_node(aig.num_vars(), -1);
+
+  auto add_node = [&](GateKind kind, int f0, int f1) {
+    g.kind.push_back(kind);
+    g.fanin.push_back({f0, f1});
+    int lvl = 0;
+    if (f0 >= 0) lvl = std::max(lvl, g.level[static_cast<std::size_t>(f0)] + 1);
+    if (f1 >= 0) lvl = std::max(lvl, g.level[static_cast<std::size_t>(f1)] + 1);
+    g.level.push_back(lvl);
+    return static_cast<int>(g.kind.size()) - 1;
+  };
+
+  auto node_of_lit = [&](Lit l) {
+    const Var v = lit_var(l);
+    assert(pos_node[v] >= 0);
+    if (!lit_neg(l)) return pos_node[v];
+    if (neg_node[v] < 0) neg_node[v] = add_node(GateKind::kNot, pos_node[v], -1);
+    return neg_node[v];
+  };
+
+  // AIG vars are already topological; walking them in order guarantees
+  // fanins (and their inverters) exist before each AND node.
+  for (Var v = 0; v < aig.num_vars(); ++v) {
+    if (aig.is_input(v)) {
+      pos_node[v] = add_node(GateKind::kPi, -1, -1);
+    } else if (aig.is_and(v)) {
+      const int f0 = node_of_lit(aig.fanin0(v));
+      const int f1 = node_of_lit(aig.fanin1(v));
+      pos_node[v] = add_node(GateKind::kAnd, f0, f1);
+    }
+  }
+  for (Lit o : aig.outputs()) g.outputs.push_back(node_of_lit(o));
+
+  int max_level = 0;
+  for (int l : g.level) max_level = std::max(max_level, l);
+  g.num_levels = max_level + 1;
+  return g;
+}
+
+}  // namespace dg::aig

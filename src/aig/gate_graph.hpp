@@ -1,0 +1,41 @@
+// Explicit-gate view of an AIG: complemented edges are materialized as
+// 1-input NOT nodes, giving exactly the three node types the paper's GNN
+// sees (PI, AND, NOT — the 3-d one-hot of Sec. III-C). Node ids are in
+// topological order.
+#pragma once
+
+#include "aig/aig.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dg::aig {
+
+enum class GateKind : std::uint8_t { kPi = 0, kAnd = 1, kNot = 2 };
+
+struct GateGraph {
+  std::vector<GateKind> kind;
+  // fanin[i][0..1]; -1 for unused slots (PIs have none, NOT uses slot 0).
+  std::vector<std::array<int, 2>> fanin;
+  std::vector<int> level;       // PI = 0, else 1 + max(fanin level)
+  std::vector<int> outputs;     // node ids driving primary outputs
+  int num_levels = 0;           // max level + 1
+
+  std::size_t size() const { return kind.size(); }
+  int fanin_count(int v) const {
+    return (fanin[v][0] < 0) ? 0 : (fanin[v][1] < 0 ? 1 : 2);
+  }
+  /// Successor adjacency (computed on demand).
+  std::vector<std::vector<int>> fanouts() const;
+  /// Number of nodes of each kind, indexed by GateKind.
+  std::array<std::size_t, 3> kind_counts() const;
+};
+
+/// Expand an AIG into a GateGraph. One NOT node is created per distinct
+/// complemented literal in use (so inverters are shared, as a netlist would
+/// share them). Requires the AIG not to use the constant node — run
+/// synth::optimize / constant propagation first.
+GateGraph to_gate_graph(const Aig& aig);
+
+}  // namespace dg::aig

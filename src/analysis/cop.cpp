@@ -1,0 +1,74 @@
+#include "analysis/cop.hpp"
+
+namespace dg::analysis {
+
+std::vector<double> cop_probabilities(const aig::GateGraph& g) {
+  using aig::GateKind;
+  std::vector<double> p(g.size(), 0.5);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    switch (g.kind[v]) {
+      case GateKind::kPi: p[v] = 0.5; break;
+      case GateKind::kAnd:
+        p[v] = p[static_cast<std::size_t>(g.fanin[v][0])] *
+               p[static_cast<std::size_t>(g.fanin[v][1])];
+        break;
+      case GateKind::kNot:
+        p[v] = 1.0 - p[static_cast<std::size_t>(g.fanin[v][0])];
+        break;
+    }
+  }
+  return p;
+}
+
+std::vector<double> cop_aig_probabilities(const aig::Aig& aig) {
+  using namespace dg::aig;
+  std::vector<double> p(aig.num_vars(), 0.0);  // var 0 = const0
+  auto lit_p = [&](Lit l) { return lit_neg(l) ? 1.0 - p[lit_var(l)] : p[lit_var(l)]; };
+  for (Var v = 0; v < aig.num_vars(); ++v) {
+    if (aig.is_input(v))
+      p[v] = 0.5;
+    else if (aig.is_and(v))
+      p[v] = lit_p(aig.fanin0(v)) * lit_p(aig.fanin1(v));
+  }
+  return p;
+}
+
+std::vector<double> cop_netlist_probabilities(const netlist::Netlist& nl) {
+  using netlist::GateType;
+  std::vector<double> p(nl.size(), 0.5);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const auto& gate = nl.gate(static_cast<int>(i));
+    auto fp = [&](std::size_t k) { return p[static_cast<std::size_t>(gate.fanins[k])]; };
+    switch (gate.type) {
+      case GateType::kInput: p[i] = 0.5; break;
+      case GateType::kBuf: p[i] = fp(0); break;
+      case GateType::kNot: p[i] = 1.0 - fp(0); break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        double acc = 1.0;
+        for (std::size_t k = 0; k < gate.fanins.size(); ++k) acc *= fp(k);
+        p[i] = gate.type == GateType::kAnd ? acc : 1.0 - acc;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        double acc = 1.0;
+        for (std::size_t k = 0; k < gate.fanins.size(); ++k) acc *= 1.0 - fp(k);
+        p[i] = gate.type == GateType::kOr ? 1.0 - acc : acc;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // P(odd parity) folds pairwise: p_xor = a(1-b) + b(1-a).
+        double acc = fp(0);
+        for (std::size_t k = 1; k < gate.fanins.size(); ++k)
+          acc = acc * (1.0 - fp(k)) + fp(k) * (1.0 - acc);
+        p[i] = gate.type == GateType::kXor ? acc : 1.0 - acc;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace dg::analysis

@@ -1,0 +1,26 @@
+// COP-style signal-probability propagation (the classic testability
+// "controllability" estimate): probabilities are pushed forward assuming
+// statistically independent fanins. Exact on fanout-free (tree) circuits,
+// increasingly wrong under reconvergent fanout — which is precisely the
+// failure mode DeepGate's skip connections target. Used as a non-learned
+// baseline in the examples and tests.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "aig/gate_graph.hpp"
+#include "netlist/netlist.hpp"
+
+#include <vector>
+
+namespace dg::analysis {
+
+/// Independence-assuming probability per gate-graph node (PIs = 0.5).
+std::vector<double> cop_probabilities(const aig::GateGraph& g);
+
+/// Same, per AIG variable.
+std::vector<double> cop_aig_probabilities(const aig::Aig& aig);
+
+/// Same, per netlist gate (multi-input gates assume independent fanins).
+std::vector<double> cop_netlist_probabilities(const netlist::Netlist& nl);
+
+}  // namespace dg::analysis

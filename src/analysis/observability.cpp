@@ -1,0 +1,53 @@
+#include "analysis/observability.hpp"
+
+#include <algorithm>
+
+namespace dg::analysis {
+
+std::vector<double> cop_observability(const aig::GateGraph& g,
+                                      const std::vector<double>& controllability) {
+  using aig::GateKind;
+  std::vector<double> obs(g.size(), 0.0);
+  for (int o : g.outputs) obs[static_cast<std::size_t>(o)] = 1.0;
+
+  // Reverse topological sweep (ids are topological).
+  for (std::size_t vi = g.size(); vi-- > 0;) {
+    const double o_v = obs[vi];
+    if (o_v == 0.0) continue;
+    switch (g.kind[vi]) {
+      case GateKind::kPi:
+        break;
+      case GateKind::kNot: {
+        const auto in = static_cast<std::size_t>(g.fanin[vi][0]);
+        obs[in] = std::max(obs[in], o_v);
+        break;
+      }
+      case GateKind::kAnd: {
+        const auto a = static_cast<std::size_t>(g.fanin[vi][0]);
+        const auto b = static_cast<std::size_t>(g.fanin[vi][1]);
+        // Input observed when the sibling holds its noncontrolling value 1.
+        obs[a] = std::max(obs[a], o_v * controllability[b]);
+        obs[b] = std::max(obs[b], o_v * controllability[a]);
+        break;
+      }
+    }
+  }
+  return obs;
+}
+
+Testability random_pattern_testability(const aig::GateGraph& g,
+                                       const std::vector<double>& controllability) {
+  const auto obs = cop_observability(g, controllability);
+  Testability t;
+  t.detect_sa0.resize(g.size());
+  t.detect_sa1.resize(g.size());
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    // A stuck-at-0 fault is detected by patterns driving the node to 1 that
+    // are also observed; dually for stuck-at-1.
+    t.detect_sa0[v] = controllability[v] * obs[v];
+    t.detect_sa1[v] = (1.0 - controllability[v]) * obs[v];
+  }
+  return t;
+}
+
+}  // namespace dg::analysis

@@ -1,0 +1,31 @@
+// COP-style observability: the probability that a value change at a node
+// propagates to some primary output, under the same independence assumption
+// as cop.hpp's controllability. Together, (controllability, observability)
+// are the classic random-pattern testability pair — the downstream signal
+// the paper's Sec. V positions DeepGate embeddings to serve.
+#pragma once
+
+#include "aig/gate_graph.hpp"
+
+#include <vector>
+
+namespace dg::analysis {
+
+/// Per-node observability in [0,1]. Primary outputs have observability 1; an
+/// AND input is observed through the gate when its sibling is 1
+/// (noncontrolling), scaled by the gate's own observability; a node observed
+/// through several fanouts takes the max (standard COP-O approximation).
+/// `controllability` is typically cop_probabilities(g) or simulated values.
+std::vector<double> cop_observability(const aig::GateGraph& g,
+                                      const std::vector<double>& controllability);
+
+/// Random-pattern detectability of a stuck-at fault at each node:
+///   detect_sa0(v) = C1(v) * O(v),  detect_sa1(v) = C0(v) * O(v).
+struct Testability {
+  std::vector<double> detect_sa0;
+  std::vector<double> detect_sa1;
+};
+Testability random_pattern_testability(const aig::GateGraph& g,
+                                       const std::vector<double>& controllability);
+
+}  // namespace dg::analysis

@@ -1,0 +1,110 @@
+#include "analysis/reconvergence.hpp"
+
+#include <algorithm>
+
+namespace dg::analysis {
+
+using aig::GateGraph;
+
+std::vector<SkipEdge> find_reconvergences(const GateGraph& g, const ReconvergenceOptions& opts) {
+  const std::size_t n = g.size();
+
+  // Fanout counts decide which nodes are "sources" worth tracking.
+  std::vector<int> fanout(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    for (int s = 0; s < 2; ++s)
+      if (g.fanin[v][s] >= 0) ++fanout[static_cast<std::size_t>(g.fanin[v][s])];
+
+  // open[v]: sorted vector of fanout sources whose branches pass through v
+  // and have not reconverged yet. Nodes are already topological by id.
+  std::vector<std::vector<int>> open(n);
+  std::vector<SkipEdge> result;
+  std::vector<int> merged, dup;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const int f0 = g.fanin[v][0];
+    const int f1 = g.fanin[v][1];
+    if (f0 < 0) continue;  // PI
+
+    // Branch source set = predecessor's open set plus the predecessor itself
+    // if it is a fanout stem.
+    auto branch_sources = [&](int p, std::vector<int>& out) {
+      out = open[static_cast<std::size_t>(p)];
+      if (fanout[static_cast<std::size_t>(p)] >= 2) {
+        out.insert(std::lower_bound(out.begin(), out.end(), p), p);
+      }
+    };
+
+    if (f1 < 0) {
+      // Single-fanin node (NOT): sources flow through unchanged.
+      branch_sources(f0, open[v]);
+    } else {
+      std::vector<int> a, b;
+      branch_sources(f0, a);
+      branch_sources(f1, b);
+      // Duplicates across the two branches = reconvergence at v.
+      merged.clear();
+      dup.clear();
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(merged));
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(dup));
+
+      // The distance window applies at detection too: reconvergences whose
+      // source sits farther back than the window are ignored.
+      if (opts.max_level_diff > 0) {
+        std::erase_if(dup, [&](int s) {
+          return g.level[v] - g.level[static_cast<std::size_t>(s)] > opts.max_level_diff;
+        });
+      }
+      if (!dup.empty()) {
+        if (opts.one_per_node) {
+          // Nearest source = highest level (smallest level difference).
+          int best = dup[0];
+          for (int s : dup)
+            if (g.level[static_cast<std::size_t>(s)] > g.level[static_cast<std::size_t>(best)])
+              best = s;
+          result.push_back({best, static_cast<int>(v),
+                            g.level[v] - g.level[static_cast<std::size_t>(best)]});
+        } else {
+          for (int s : dup)
+            result.push_back({s, static_cast<int>(v),
+                              g.level[v] - g.level[static_cast<std::size_t>(s)]});
+        }
+        // Reconverged sources close at v: drop them from the propagated set.
+        std::vector<int> remaining;
+        std::set_difference(merged.begin(), merged.end(), dup.begin(), dup.end(),
+                            std::back_inserter(remaining));
+        merged = std::move(remaining);
+      }
+      open[v] = std::move(merged);
+    }
+
+    // Window/cap the open set: drop the farthest (lowest-level) sources.
+    auto& set = open[v];
+    if (opts.max_level_diff > 0) {
+      std::erase_if(set, [&](int s) {
+        return g.level[v] - g.level[static_cast<std::size_t>(s)] > opts.max_level_diff;
+      });
+    }
+    if (set.size() > opts.max_sources_per_node) {
+      std::vector<int> by_level = set;
+      std::nth_element(by_level.begin(),
+                       by_level.begin() + static_cast<std::ptrdiff_t>(
+                                              by_level.size() - opts.max_sources_per_node),
+                       by_level.end(), [&](int x, int y) {
+                         return g.level[static_cast<std::size_t>(x)] <
+                                g.level[static_cast<std::size_t>(y)];
+                       });
+      const int cutoff = by_level[by_level.size() - opts.max_sources_per_node];
+      const int cutoff_level = g.level[static_cast<std::size_t>(cutoff)];
+      std::erase_if(set, [&](int s) {
+        return g.level[static_cast<std::size_t>(s)] < cutoff_level;
+      });
+      // erase_if by level may leave slightly more than the cap when levels
+      // tie; trim deterministically from the front (farthest ids first).
+      while (set.size() > opts.max_sources_per_node) set.erase(set.begin());
+    }
+  }
+  return result;
+}
+
+}  // namespace dg::analysis

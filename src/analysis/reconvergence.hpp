@@ -1,0 +1,37 @@
+// Reconvergent-fanout detection (cf. Roberts & Lala [16] in the paper).
+//
+// A node r RECONVERGES a fanout source s when two distinct fanin branches of
+// r both reach s going backward. DeepGate treats these nodes as first-class
+// citizens: each (source, reconvergence) pair becomes a skip-connection edge
+// carrying the level difference D for the positional encoding of Eq. (7).
+#pragma once
+
+#include "aig/gate_graph.hpp"
+
+#include <vector>
+
+namespace dg::analysis {
+
+struct SkipEdge {
+  int src = 0;        ///< fanout source node
+  int dst = 0;        ///< reconvergence node
+  int level_diff = 0; ///< level(dst) - level(src), always >= 2
+};
+
+struct ReconvergenceOptions {
+  /// Cap on open sources tracked per node (nearest-by-level kept). Bounds the
+  /// worst-case cost on fanout-heavy circuits; detection becomes approximate
+  /// (a superset-of-nothing: only misses, never false positives).
+  std::size_t max_sources_per_node = 48;
+  /// Keep only the nearest reconverging source per node (the paper pairs each
+  /// reconvergence node with "its corresponding source fan-out node").
+  bool one_per_node = true;
+  /// Drop sources more than this many levels behind (0 = unlimited).
+  int max_level_diff = 0;
+};
+
+/// All skip edges of `g` under `opts`, ordered by destination node id.
+std::vector<SkipEdge> find_reconvergences(const aig::GateGraph& g,
+                                          const ReconvergenceOptions& opts = {});
+
+}  // namespace dg::analysis

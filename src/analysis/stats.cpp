@@ -1,0 +1,39 @@
+#include "analysis/stats.hpp"
+
+#include "analysis/reconvergence.hpp"
+
+#include <unordered_set>
+
+namespace dg::analysis {
+
+GraphStats compute_stats(const aig::GateGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.size();
+  const auto counts = g.kind_counts();
+  s.num_pis = counts[static_cast<std::size_t>(aig::GateKind::kPi)];
+  s.num_ands = counts[static_cast<std::size_t>(aig::GateKind::kAnd)];
+  s.num_nots = counts[static_cast<std::size_t>(aig::GateKind::kNot)];
+  s.depth = g.num_levels - 1;
+
+  std::vector<int> fanout(g.size(), 0);
+  std::size_t edge_count = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (int slot = 0; slot < 2; ++slot) {
+      if (g.fanin[v][slot] >= 0) {
+        ++fanout[static_cast<std::size_t>(g.fanin[v][slot])];
+        ++edge_count;
+      }
+    }
+  }
+  for (int f : fanout)
+    if (f >= 2) ++s.num_fanout_stems;
+  s.avg_fanout = g.size() ? static_cast<double>(edge_count) / static_cast<double>(g.size()) : 0.0;
+
+  const auto skips = find_reconvergences(g);
+  std::unordered_set<int> reconv_nodes;
+  for (const auto& e : skips) reconv_nodes.insert(e.dst);
+  s.num_reconv_nodes = reconv_nodes.size();
+  return s;
+}
+
+}  // namespace dg::analysis

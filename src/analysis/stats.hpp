@@ -1,0 +1,24 @@
+// Structural statistics of circuit graphs, used for the Table I dataset
+// report and the generators' self-checks.
+#pragma once
+
+#include "aig/gate_graph.hpp"
+
+#include <cstddef>
+
+namespace dg::analysis {
+
+struct GraphStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_pis = 0;
+  std::size_t num_ands = 0;
+  std::size_t num_nots = 0;
+  int depth = 0;               ///< max logic level
+  std::size_t num_fanout_stems = 0;   ///< nodes with fanout >= 2
+  std::size_t num_reconv_nodes = 0;   ///< nodes closing at least one reconvergence
+  double avg_fanout = 0.0;
+};
+
+GraphStats compute_stats(const aig::GateGraph& g);
+
+}  // namespace dg::analysis

@@ -1,0 +1,132 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace dg::bdd {
+namespace {
+
+// Node ids stay below 2^21 so three of them (or a var + two ids) pack into a
+// single 64-bit cache key.
+constexpr std::size_t kMaxNodes = (1U << 21) - 1;
+
+std::uint64_t unique_key(int var, BddManager::Node low, BddManager::Node high) {
+  return static_cast<std::uint64_t>(var) |
+         (static_cast<std::uint64_t>(low) << 20) |
+         (static_cast<std::uint64_t>(high) << 41);
+}
+
+std::uint64_t ite_key(BddManager::Node f, BddManager::Node g, BddManager::Node h) {
+  return static_cast<std::uint64_t>(f) |
+         (static_cast<std::uint64_t>(g) << 21) |
+         (static_cast<std::uint64_t>(h) << 42);
+}
+
+}  // namespace
+
+BddManager::BddManager(int num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(std::min(node_limit, kMaxNodes)) {
+  assert(num_vars >= 0 && num_vars < (1 << 20));
+  // Terminal nodes: var index past every real variable so terminals sort last.
+  nodes_.push_back({num_vars_, kFalse, kFalse});  // 0 = FALSE
+  nodes_.push_back({num_vars_, kTrue, kTrue});    // 1 = TRUE
+}
+
+BddManager::Node BddManager::make_node(int var, Node low, Node high) {
+  if (low == high) return low;  // reduction rule
+  const std::uint64_t key = unique_key(var, low, high);
+  if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw NodeLimitExceeded();
+  const Node n = static_cast<Node>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, n);
+  return n;
+}
+
+BddManager::Node BddManager::var(int i) {
+  assert(i >= 0 && i < num_vars_);
+  return make_node(i, kFalse, kTrue);
+}
+
+BddManager::Node BddManager::nvar(int i) {
+  assert(i >= 0 && i < num_vars_);
+  return make_node(i, kTrue, kFalse);
+}
+
+BddManager::Node BddManager::apply_not(Node f) { return ite(f, kFalse, kTrue); }
+BddManager::Node BddManager::apply_and(Node f, Node g) { return ite(f, g, kFalse); }
+BddManager::Node BddManager::apply_or(Node f, Node g) { return ite(f, kTrue, g); }
+BddManager::Node BddManager::apply_xor(Node f, Node g) {
+  return ite(f, apply_not(g), g);
+}
+
+BddManager::Node BddManager::ite(Node f, Node g, Node h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = ite_key(f, g, h);
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+
+  // Split on the top variable of f, g, h.
+  const int vf = nodes_[f].var;
+  const int vg = nodes_[g].var;
+  const int vh = nodes_[h].var;
+  const int top = std::min({vf, vg, vh});
+
+  const Node f0 = (vf == top) ? nodes_[f].low : f;
+  const Node f1 = (vf == top) ? nodes_[f].high : f;
+  const Node g0 = (vg == top) ? nodes_[g].low : g;
+  const Node g1 = (vg == top) ? nodes_[g].high : g;
+  const Node h0 = (vh == top) ? nodes_[h].low : h;
+  const Node h1 = (vh == top) ? nodes_[h].high : h;
+
+  const Node low = ite(f0, g0, h0);
+  const Node high = ite(f1, g1, h1);
+  const Node result = make_node(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+double BddManager::sat_fraction(Node f) {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  if (auto it = sat_cache_.find(f); it != sat_cache_.end()) return it->second;
+  // P(f) = 1/2 P(f_low) + 1/2 P(f_high): variables skipped between a node and
+  // its children contribute equally to both cofactors, so no level
+  // correction is needed.
+  const double p = 0.5 * sat_fraction(nodes_[f].low) + 0.5 * sat_fraction(nodes_[f].high);
+  sat_cache_.emplace(f, p);
+  return p;
+}
+
+double BddManager::sat_count(Node f) {
+  return sat_fraction(f) * std::pow(2.0, num_vars_);
+}
+
+std::size_t BddManager::size(Node f) const {
+  std::unordered_set<Node> seen;
+  std::vector<Node> stack{f};
+  while (!stack.empty()) {
+    const Node n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second || is_terminal(n)) continue;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return seen.size();
+}
+
+bool BddManager::evaluate(Node f, std::uint64_t assignment) const {
+  while (!is_terminal(f)) {
+    const auto& n = nodes_[f];
+    f = ((assignment >> n.var) & 1ULL) ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+}  // namespace dg::bdd

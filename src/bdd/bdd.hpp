@@ -1,0 +1,87 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// A compact classic implementation (unique table + ITE computed table, no
+// complement edges) serving two roles in this repository:
+//   1. EXACT signal probabilities on circuits whose BDDs stay small — the
+//      supervision labels' ground truth beyond the 24-input exhaustive-
+//      simulation limit (sim::exact_aig_probabilities).
+//   2. Formal equivalence checking of synthesis passes — stronger evidence
+//      than randomized simulation for the function-preservation invariant.
+//
+// Variables are indexed 0..num_vars-1 in a fixed order (circuit PI order).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace dg::bdd {
+
+/// Thrown when a BDD operation would exceed the manager's node limit
+/// (BDD sizes are worst-case exponential; callers fall back to simulation).
+class NodeLimitExceeded : public std::runtime_error {
+ public:
+  NodeLimitExceeded() : std::runtime_error("BDD node limit exceeded") {}
+};
+
+class BddManager {
+ public:
+  using Node = std::uint32_t;
+  static constexpr Node kFalse = 0;
+  static constexpr Node kTrue = 1;
+
+  /// `node_limit` is capped at 2^21 - 1 so node ids pack into cache keys.
+  explicit BddManager(int num_vars, std::size_t node_limit = 1U << 21);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// The projection function of variable i.
+  Node var(int i);
+  /// Its complement.
+  Node nvar(int i);
+
+  Node apply_not(Node f);
+  Node apply_and(Node f, Node g);
+  Node apply_or(Node f, Node g);
+  Node apply_xor(Node f, Node g);
+  /// Shannon if-then-else — the core operator everything else reduces to.
+  Node ite(Node f, Node g, Node h);
+
+  bool is_terminal(Node n) const { return n <= kTrue; }
+  int var_of(Node n) const { return nodes_[n].var; }
+  Node low(Node n) const { return nodes_[n].low; }
+  Node high(Node n) const { return nodes_[n].high; }
+
+  /// Fraction of the 2^num_vars input space satisfying f — i.e. the exact
+  /// signal probability under uniform independent inputs.
+  double sat_fraction(Node f);
+
+  /// Number of satisfying assignments over `num_vars` variables (as double;
+  /// exact for < 2^53).
+  double sat_count(Node f);
+
+  /// Nodes reachable from f (including terminals).
+  std::size_t size(Node f) const;
+
+  /// Evaluate f under a complete assignment (bit i of `assignment` = var i).
+  bool evaluate(Node f, std::uint64_t assignment) const;
+
+ private:
+  struct BddNode {
+    int var;
+    Node low, high;
+  };
+
+  Node make_node(int var, Node low, Node high);
+
+  int num_vars_;
+  std::size_t node_limit_;
+  std::vector<BddNode> nodes_;
+  std::unordered_map<std::uint64_t, Node> unique_;        // (var,low,high) -> node
+  std::unordered_map<std::uint64_t, Node> ite_cache_;     // (f,g,h) -> node
+  std::unordered_map<Node, double> sat_cache_;
+};
+
+}  // namespace dg::bdd

@@ -1,0 +1,66 @@
+#include "bdd/circuit_bdd.hpp"
+
+namespace dg::bdd {
+namespace {
+
+using aig::Lit;
+using aig::Var;
+
+/// Build BDDs for every variable of `aig` inside `mgr`. Input i maps to BDD
+/// variable i. Returns one BDD node per AIG var (var 0 = FALSE).
+std::vector<BddManager::Node> build_all(BddManager& mgr, const aig::Aig& aig) {
+  std::vector<BddManager::Node> node_of(aig.num_vars(), BddManager::kFalse);
+  for (std::size_t i = 0; i < aig.num_inputs(); ++i)
+    node_of[aig.inputs()[i]] = mgr.var(static_cast<int>(i));
+  auto lit_node = [&](Lit l) {
+    const BddManager::Node n = node_of[aig::lit_var(l)];
+    return aig::lit_neg(l) ? mgr.apply_not(n) : n;
+  };
+  for (Var v = 0; v < aig.num_vars(); ++v) {
+    if (!aig.is_and(v)) continue;
+    node_of[v] = mgr.apply_and(lit_node(aig.fanin0(v)), lit_node(aig.fanin1(v)));
+  }
+  return node_of;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> exact_probabilities(const aig::Aig& aig,
+                                                       std::size_t node_limit) {
+  BddManager mgr(static_cast<int>(aig.num_inputs()), node_limit);
+  try {
+    const auto node_of = build_all(mgr, aig);
+    std::vector<double> prob(aig.num_vars(), 0.0);
+    for (Var v = 0; v < aig.num_vars(); ++v) {
+      if (aig.is_input(v) || aig.is_and(v)) prob[v] = mgr.sat_fraction(node_of[v]);
+    }
+    return prob;
+  } catch (const NodeLimitExceeded&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> check_equivalence(const aig::Aig& a, const aig::Aig& b,
+                                      std::size_t node_limit) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) return false;
+  BddManager mgr(static_cast<int>(a.num_inputs()), node_limit);
+  try {
+    const auto nodes_a = build_all(mgr, a);
+    const auto nodes_b = build_all(mgr, b);
+    auto out_node = [&](const aig::Aig& circuit, const std::vector<BddManager::Node>& nodes,
+                        std::size_t o) {
+      const Lit l = circuit.outputs()[o];
+      const BddManager::Node n = nodes[aig::lit_var(l)];
+      return aig::lit_neg(l) ? mgr.apply_not(n) : n;
+    };
+    for (std::size_t o = 0; o < a.num_outputs(); ++o) {
+      // ROBDDs are canonical: equal functions share the node id.
+      if (out_node(a, nodes_a, o) != out_node(b, nodes_b, o)) return false;
+    }
+    return true;
+  } catch (const NodeLimitExceeded&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dg::bdd

@@ -1,0 +1,25 @@
+// Circuit <-> BDD bridge: exact signal probabilities and formal equivalence
+// checking for AIGs via symbolic evaluation.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "bdd/bdd.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace dg::bdd {
+
+/// Exact signal probability of every AIG variable under uniform inputs,
+/// computed symbolically. Returns std::nullopt if any intermediate BDD
+/// exceeds `node_limit` (callers fall back to Monte-Carlo simulation).
+std::optional<std::vector<double>> exact_probabilities(const aig::Aig& aig,
+                                                       std::size_t node_limit = 1U << 21);
+
+/// Formal combinational equivalence: same number of inputs/outputs and every
+/// output pair computes the identical function (inputs paired by position).
+/// Returns std::nullopt when the node limit is exceeded (undecided).
+std::optional<bool> check_equivalence(const aig::Aig& a, const aig::Aig& b,
+                                      std::size_t node_limit = 1U << 21);
+
+}  // namespace dg::bdd

@@ -1,0 +1,57 @@
+#include "core/deepgate.hpp"
+
+#include "aig/gate_graph.hpp"
+#include "netlist/to_aig.hpp"
+#include "nn/serialize.hpp"
+#include "sim/probability.hpp"
+#include "synth/optimize.hpp"
+
+namespace deepgate {
+
+CircuitGraph prepare(const dg::netlist::Netlist& nl, std::size_t patterns, std::uint64_t seed) {
+  return prepare(dg::netlist::to_aig(nl), patterns, seed);
+}
+
+CircuitGraph prepare(const dg::aig::Aig& aig, std::size_t patterns, std::uint64_t seed) {
+  const dg::aig::Aig optimized = dg::synth::optimize(aig);
+  const dg::aig::GateGraph g = dg::aig::to_gate_graph(optimized);
+  const auto labels = dg::sim::gate_graph_probabilities(g, patterns, seed);
+  return CircuitGraph::from_gate_graph(g, labels);
+}
+
+Engine::Engine(const Options& options)
+    : options_(options), model_(dg::gnn::make_model(options.spec, options.model)) {}
+
+dg::gnn::TrainResult Engine::train(const std::vector<CircuitGraph>& train_set,
+                                   const TrainConfig& cfg) {
+  return dg::gnn::train(*model_, train_set, cfg);
+}
+
+double Engine::evaluate(const std::vector<CircuitGraph>& test_set) const {
+  return dg::gnn::evaluate(*model_, test_set);
+}
+
+std::vector<float> Engine::predict_probabilities(const CircuitGraph& g) const {
+  dg::nn::NoGradGuard no_grad;
+  const dg::nn::Tensor pred = model_->predict(g);
+  std::vector<float> out(static_cast<std::size_t>(g.num_nodes));
+  for (int v = 0; v < g.num_nodes; ++v) out[static_cast<std::size_t>(v)] = pred.value().at(v, 0);
+  return out;
+}
+
+dg::nn::Matrix Engine::embeddings(const CircuitGraph& g) const {
+  dg::nn::NoGradGuard no_grad;
+  return model_->embed(g).value();
+}
+
+bool Engine::save(const std::string& path) const {
+  const auto params = model_->named_params();
+  return dg::nn::save_params(path, params);
+}
+
+bool Engine::load(const std::string& path) {
+  auto params = model_->named_params();
+  return dg::nn::load_params(path, params);
+}
+
+}  // namespace deepgate

@@ -1,0 +1,78 @@
+// Public facade of the library — the API a downstream user programs against.
+//
+//   deepgate::Engine engine(options);
+//   auto graph = deepgate::prepare(my_netlist, 100000, seed);  // AIG + labels
+//   engine.train(train_graphs, train_options);
+//   auto probs = engine.predict_probabilities(graph);
+//   auto emb   = engine.embeddings(graph);   // per-gate representation
+//   engine.save("model.dgtp");
+//
+// Everything here delegates to the dg::* subsystem libraries; nothing in the
+// facade is required to use them directly.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "gnn/metrics.hpp"
+#include "gnn/models.hpp"
+#include "gnn/trainer.hpp"
+#include "netlist/netlist.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace deepgate {
+
+using CircuitGraph = dg::gnn::CircuitGraph;
+using ModelConfig = dg::gnn::ModelConfig;
+using TrainConfig = dg::gnn::TrainConfig;
+using ModelSpec = dg::gnn::ModelSpec;
+
+struct Options {
+  ModelConfig model;       ///< architecture hyperparameters
+  ModelSpec spec;          ///< which Table II family/aggregator to build
+  Options() {
+    spec.family = dg::gnn::ModelFamily::kDeepGate;
+    spec.agg = dg::gnn::AggKind::kAttention;
+    spec.use_skip = true;  // full DeepGate by default
+  }
+};
+
+/// Circuit data preparation (Fig. 2a) for a user netlist: map to AIG,
+/// optimize, expand to PI/AND/NOT gates, simulate `patterns` random vectors
+/// for the per-node probabilities, detect reconvergences.
+CircuitGraph prepare(const dg::netlist::Netlist& nl, std::size_t patterns, std::uint64_t seed);
+
+/// Same for circuits already in AIG form.
+CircuitGraph prepare(const dg::aig::Aig& aig, std::size_t patterns, std::uint64_t seed);
+
+class Engine {
+ public:
+  explicit Engine(const Options& options = Options());
+
+  /// Train on prepared graphs; returns per-epoch training loss.
+  dg::gnn::TrainResult train(const std::vector<CircuitGraph>& train_set,
+                             const TrainConfig& cfg);
+
+  /// Avg prediction error, Eq. (8).
+  double evaluate(const std::vector<CircuitGraph>& test_set) const;
+
+  /// Per-node predicted probabilities.
+  std::vector<float> predict_probabilities(const CircuitGraph& g) const;
+
+  /// Per-node embedding matrix (N x d).
+  dg::nn::Matrix embeddings(const CircuitGraph& g) const;
+
+  /// Checkpointing (binary, name-keyed; see nn/serialize.hpp).
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+  const dg::gnn::Model& model() const { return *model_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<dg::gnn::Model> model_;
+};
+
+}  // namespace deepgate

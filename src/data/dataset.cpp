@@ -1,0 +1,170 @@
+#include "data/dataset.hpp"
+
+#include "data/generators_small.hpp"
+#include "netlist/to_aig.hpp"
+#include "sim/probability.hpp"
+#include "synth/optimize.hpp"
+#include "synth/sweep.hpp"
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace dg::data {
+
+DatasetConfig default_dataset_config(util::BenchScale scale, std::uint64_t seed) {
+  // Table I counts, scaled. The node/level envelopes per family follow the
+  // ranges reported in the paper.
+  double factor = 1.0;
+  switch (scale) {
+    case util::BenchScale::kTiny: factor = 1.0 / 400.0; break;
+    case util::BenchScale::kSmall: factor = 1.0 / 50.0; break;
+    case util::BenchScale::kPaper: factor = 1.0; break;
+  }
+  auto scaled = [&](std::size_t paper_count) {
+    return std::max<std::size_t>(4, static_cast<std::size_t>(paper_count * factor));
+  };
+  auto env = [](std::size_t min_n, std::size_t max_n, int min_l, int max_l) {
+    ExtractConfig cfg;
+    cfg.min_nodes = min_n;
+    cfg.max_nodes = max_n;
+    cfg.min_level = min_l;
+    cfg.max_level = max_l;
+    return cfg;
+  };
+  DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.families = {
+      {"EPFL", scaled(828), env(52, 341, 4, 17)},
+      {"ITC99", scaled(7560), env(36, 1947, 3, 23)},
+      {"IWLS", scaled(1281), env(41, 2268, 5, 24)},
+      {"Opencores", scaled(1155), env(51, 3214, 4, 18)},
+  };
+  if (scale != util::BenchScale::kPaper) cfg.sim_patterns = 100000;
+  return cfg;
+}
+
+Dataset build_dataset(const DatasetConfig& cfg) {
+  Dataset ds;
+  util::Rng rng(cfg.seed);
+  for (const auto& family : cfg.families) {
+    util::Rng family_rng = rng.fork();
+    std::size_t produced = 0;
+    int dry_bases = 0;
+    while (produced < family.num_subcircuits && dry_bases < 200) {
+      // Fresh randomized base design, then window several cones out of it.
+      netlist::Netlist base_nl = generate_family(family.name, family_rng);
+      aig::Aig base = synth::optimize(netlist::to_aig(base_nl));
+      const std::size_t want =
+          std::min<std::size_t>(family.num_subcircuits - produced, 4);
+      auto cones = extract_subcircuits(base, want, family.extract, family_rng);
+      if (cones.empty()) {
+        ++dry_bases;
+        continue;
+      }
+      for (auto& cone : cones) {
+        const aig::GateGraph g = aig::to_gate_graph(cone);
+        const auto labels =
+            sim::gate_graph_probabilities(g, cfg.sim_patterns, family_rng.next_u64());
+        ds.graphs.push_back(gnn::CircuitGraph::from_gate_graph(g, labels, cfg.pe_L));
+        ds.info.push_back({family.name, g.size(), g.num_levels - 1});
+        ++produced;
+      }
+    }
+    if (produced < family.num_subcircuits)
+      util::log_warn("family ", family.name, ": produced ", produced, "/",
+                     family.num_subcircuits, " subcircuits");
+  }
+  return ds;
+}
+
+void Dataset::split(double train_fraction, std::uint64_t seed,
+                    std::vector<gnn::CircuitGraph>& train,
+                    std::vector<gnn::CircuitGraph>& test) const {
+  std::vector<int> order(graphs.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(seed);
+  rng.shuffle(order);
+  const std::size_t n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(graphs.size()));
+  train.clear();
+  test.clear();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i < n_train)
+      train.push_back(graphs[static_cast<std::size_t>(order[i])]);
+    else
+      test.push_back(graphs[static_cast<std::size_t>(order[i])]);
+  }
+}
+
+std::vector<FamilyStats> dataset_stats(const Dataset& ds) {
+  std::map<std::string, FamilyStats> by_family;
+  for (const auto& info : ds.info) {
+    auto& stats = by_family[info.family];
+    if (stats.count == 0) {
+      stats = {info.family, 1, info.nodes, info.nodes, info.levels, info.levels};
+    } else {
+      ++stats.count;
+      stats.min_nodes = std::min(stats.min_nodes, info.nodes);
+      stats.max_nodes = std::max(stats.max_nodes, info.nodes);
+      stats.min_level = std::min(stats.min_level, info.levels);
+      stats.max_level = std::max(stats.max_level, info.levels);
+    }
+  }
+  std::vector<FamilyStats> out;
+  // Table I row order.
+  for (const auto& name : family_names()) {
+    auto it = by_family.find(name);
+    if (it != by_family.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+PairedDataset build_paired_dataset(const std::string& family, std::size_t count,
+                                   std::size_t sim_patterns, std::uint64_t seed, int pe_L) {
+  PairedDataset ds;
+  util::Rng rng(seed);
+  int dry = 0;
+  while (ds.raw.size() < count && dry < 200) {
+    netlist::Netlist base = generate_family(family, rng);
+    // Window: random output cone with a gate budget in the paper's range.
+    const auto& outs = base.outputs();
+    std::vector<int> roots{outs[static_cast<std::size_t>(rng.next_below(outs.size()))]};
+    const std::size_t budget = static_cast<std::size_t>(rng.next_range(60, 600));
+    netlist::Netlist cone = extract_netlist_cone(base, roots, budget);
+    if (cone.size() < 30 || cone.depth() < 3) {
+      ++dry;
+      continue;
+    }
+
+    // Raw version: original gate types in 2-input-mapped form (the shape a
+    // technology-mapped netlist takes), simulated labels.
+    const netlist::Netlist mapped = netlist::decompose_to_2input(cone);
+    const auto raw_labels = sim::netlist_probabilities(mapped, sim_patterns, rng.next_u64());
+    ds.raw.push_back(gnn::CircuitGraph::from_netlist(mapped, raw_labels, pe_L));
+
+    // Transformed version: AIG of the same function.
+    aig::Aig a = synth::optimize(netlist::to_aig(cone));
+    if (a.num_ands() == 0 || a.uses_constants()) {
+      ds.raw.pop_back();
+      ++dry;
+      continue;
+    }
+    const aig::GateGraph g = aig::to_gate_graph(a);
+    const auto aig_labels = sim::gate_graph_probabilities(g, sim_patterns, rng.next_u64());
+    ds.aig.push_back(gnn::CircuitGraph::from_gate_graph(g, aig_labels, pe_L));
+  }
+  return ds;
+}
+
+gnn::CircuitGraph graph_from_aig(const aig::Aig& aig, std::size_t sim_patterns,
+                                 std::uint64_t seed, int pe_L) {
+  aig::Aig prepared = synth::optimize(aig);
+  if (prepared.uses_constants()) prepared = synth::drop_constant_outputs(prepared);
+  const aig::GateGraph g = aig::to_gate_graph(prepared);
+  const auto labels = sim::gate_graph_probabilities(g, sim_patterns, seed);
+  return gnn::CircuitGraph::from_gate_graph(g, labels, pe_L);
+}
+
+}  // namespace dg::data

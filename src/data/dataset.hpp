@@ -1,0 +1,73 @@
+// End-to-end dataset assembly — the "Circuit Data Preparation" stage of
+// Fig. 2(a): generate family netlists, map to AIG, optimize, window into
+// sub-circuits, simulate random patterns for per-node signal probabilities,
+// and package everything as model-ready CircuitGraphs with a 90/10 split.
+#pragma once
+
+#include "data/extract.hpp"
+#include "gnn/circuit_graph.hpp"
+#include "util/env.hpp"
+
+#include <string>
+#include <vector>
+
+namespace dg::data {
+
+struct FamilySpec {
+  std::string name;
+  std::size_t num_subcircuits = 0;
+  ExtractConfig extract;
+};
+
+struct DatasetConfig {
+  std::vector<FamilySpec> families;
+  std::size_t sim_patterns = 100000;  ///< paper: up to 100k random patterns
+  std::uint64_t seed = 1;
+  int pe_L = 8;
+};
+
+/// Family mix mirroring Table I's proportions (EPFL 828 / ITC99 7560 /
+/// IWLS 1281 / Opencores 1155 at kPaper; scaled down for kSmall/kTiny).
+DatasetConfig default_dataset_config(util::BenchScale scale, std::uint64_t seed = 1);
+
+struct SampleInfo {
+  std::string family;
+  std::size_t nodes = 0;
+  int levels = 0;
+};
+
+struct Dataset {
+  std::vector<gnn::CircuitGraph> graphs;
+  std::vector<SampleInfo> info;  ///< parallel to graphs
+
+  /// Deterministic shuffled split; fractions of the paper: 90/10.
+  void split(double train_fraction, std::uint64_t seed, std::vector<gnn::CircuitGraph>& train,
+             std::vector<gnn::CircuitGraph>& test) const;
+};
+
+Dataset build_dataset(const DatasetConfig& cfg);
+
+/// Per-family Table I statistics.
+struct FamilyStats {
+  std::string family;
+  std::size_t count = 0;
+  std::size_t min_nodes = 0, max_nodes = 0;
+  int min_level = 0, max_level = 0;
+};
+std::vector<FamilyStats> dataset_stats(const Dataset& ds);
+
+/// Paired dataset for the Table IV transformation ablation: the same netlist
+/// windows as raw multi-gate graphs (9-type one-hot) and as optimized AIG
+/// gate graphs (3-type one-hot).
+struct PairedDataset {
+  std::vector<gnn::CircuitGraph> raw;
+  std::vector<gnn::CircuitGraph> aig;
+};
+PairedDataset build_paired_dataset(const std::string& family, std::size_t count,
+                                   std::size_t sim_patterns, std::uint64_t seed, int pe_L = 8);
+
+/// Labels + graph for a single large design (Table III evaluation).
+gnn::CircuitGraph graph_from_aig(const aig::Aig& aig, std::size_t sim_patterns,
+                                 std::uint64_t seed, int pe_L = 8);
+
+}  // namespace dg::data

@@ -1,0 +1,117 @@
+#include "data/extract.hpp"
+
+#include "aig/cone.hpp"
+#include "aig/gate_graph.hpp"
+#include "synth/optimize.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace dg::data {
+
+std::optional<aig::Aig> extract_subcircuit(const aig::Aig& base, const ExtractConfig& cfg,
+                                           util::Rng& rng) {
+  using namespace dg::aig;
+  // Candidate roots: AND vars whose level keeps the resulting gate graph
+  // inside the level envelope. The explicit-NOT expansion can as much as
+  // double the AIG depth, so roots are drawn from AIG levels up to
+  // max_level/2 (the acceptance check below remains the ground truth).
+  const int min_root_level = std::max(2, cfg.min_level / 2);
+  const int max_root_level = std::max(min_root_level, cfg.max_level / 2);
+  std::vector<Var> candidates;
+  const auto levels = base.levels();
+  for (Var v = 0; v < base.num_vars(); ++v)
+    if (base.is_and(v) && levels[v] >= min_root_level && levels[v] <= max_root_level)
+      candidates.push_back(v);
+  if (candidates.empty()) return std::nullopt;
+
+  for (int attempt = 0; attempt < cfg.tries_per_cone; ++attempt) {
+    // Gate-graph nodes ~= ANDs + NOTs + PIs ~= 2x the AND count, so target
+    // an AND budget of about half the node budget. Large windows grow from
+    // several roots so they are not limited by a single output cone.
+    const std::size_t target_nodes = static_cast<std::size_t>(
+        rng.next_range(static_cast<std::int64_t>(cfg.min_nodes),
+                       static_cast<std::int64_t>(cfg.max_nodes)));
+    const std::size_t num_roots = std::min<std::size_t>(1 + target_nodes / 300, 8);
+    std::vector<Lit> roots;
+    for (std::size_t r = 0; r < num_roots; ++r)
+      roots.push_back(make_lit(
+          candidates[static_cast<std::size_t>(rng.next_below(candidates.size()))], false));
+    ConeOptions cone_opts;
+    cone_opts.max_ands = std::max<std::size_t>(8, target_nodes / 2);
+    cone_opts.max_depth = cfg.max_level;  // gate-graph depth <= 2x AIG depth
+
+    aig::Aig cone = extract_cone(base, roots, cone_opts);
+    synth::OptimizeOptions synth_opts;
+    synth_opts.rounds = 1;
+    cone = synth::optimize(cone, synth_opts);
+    if (cone.num_ands() == 0 || cone.uses_constants()) continue;
+
+    const GateGraph g = to_gate_graph(cone);
+    const int depth = g.num_levels - 1;
+    if (g.size() < cfg.min_nodes || g.size() > cfg.max_nodes) continue;
+    if (depth < cfg.min_level || depth > cfg.max_level) continue;
+    return cone;
+  }
+  return std::nullopt;
+}
+
+std::vector<aig::Aig> extract_subcircuits(const aig::Aig& base, std::size_t count,
+                                          const ExtractConfig& cfg, util::Rng& rng) {
+  std::vector<aig::Aig> result;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto sub = extract_subcircuit(base, cfg, rng);
+    if (!sub) break;
+    result.push_back(std::move(*sub));
+  }
+  return result;
+}
+
+netlist::Netlist extract_netlist_cone(const netlist::Netlist& base,
+                                      const std::vector<int>& roots, std::size_t max_gates) {
+  using netlist::GateType;
+  // BFS upward over gate fanins with a budget.
+  std::vector<char> collected(base.size(), 0);
+  std::queue<int> frontier;
+  std::size_t gate_count = 0;
+  for (int r : roots) {
+    if (base.gate(r).type != GateType::kInput && !collected[static_cast<std::size_t>(r)]) {
+      collected[static_cast<std::size_t>(r)] = 1;
+      ++gate_count;
+      frontier.push(r);
+    }
+  }
+  while (!frontier.empty() && gate_count < max_gates) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (int f : base.gate(v).fanins) {
+      if (collected[static_cast<std::size_t>(f)]) continue;
+      if (base.gate(f).type == GateType::kInput) continue;
+      collected[static_cast<std::size_t>(f)] = 1;
+      ++gate_count;
+      frontier.push(f);
+      if (gate_count >= max_gates) break;
+    }
+  }
+
+  netlist::Netlist dst;
+  std::unordered_map<int, int> map;
+  auto dst_id = [&](int src_gate) {
+    auto it = map.find(src_gate);
+    if (it == map.end()) it = map.emplace(src_gate, dst.add_input()).first;
+    return it->second;
+  };
+  for (std::size_t v = 0; v < base.size(); ++v) {
+    if (!collected[v]) continue;
+    const auto& g = base.gate(static_cast<int>(v));
+    std::vector<int> fanins;
+    fanins.reserve(g.fanins.size());
+    for (int f : g.fanins) fanins.push_back(dst_id(f));
+    map[static_cast<int>(v)] = dst.add_gate(g.type, std::move(fanins), g.name);
+  }
+  for (int r : roots) dst.mark_output(dst_id(r));
+  return dst;
+}
+
+}  // namespace dg::data

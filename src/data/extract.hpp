@@ -1,0 +1,39 @@
+// Sub-circuit extraction with the paper's acceptance envelope: windowed
+// transitive-fanin cones whose optimized gate graphs land inside the Table I
+// node/level ranges (36-3,214 nodes, 3-24 levels).
+#pragma once
+
+#include "aig/aig.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace dg::data {
+
+struct ExtractConfig {
+  std::size_t min_nodes = 36;   ///< gate-graph nodes (PI + AND + NOT)
+  std::size_t max_nodes = 3214;
+  int min_level = 3;            ///< gate-graph levels
+  int max_level = 24;
+  int tries_per_cone = 40;      ///< root re-draws before giving up
+};
+
+/// One optimized sub-AIG meeting the envelope, or nullopt if `tries_per_cone`
+/// random roots all fail.
+std::optional<aig::Aig> extract_subcircuit(const aig::Aig& base, const ExtractConfig& cfg,
+                                           util::Rng& rng);
+
+/// Up to `count` sub-circuits (fewer if the base design is too small to
+/// yield distinct windows).
+std::vector<aig::Aig> extract_subcircuits(const aig::Aig& base, std::size_t count,
+                                          const ExtractConfig& cfg, util::Rng& rng);
+
+/// TFI-cone window of a netlist (for the Table IV "w/o transformation"
+/// circuits, which must keep their original gate types). Gate-count bounded;
+/// out-of-window fanins become fresh inputs.
+netlist::Netlist extract_netlist_cone(const netlist::Netlist& base,
+                                      const std::vector<int>& roots, std::size_t max_gates);
+
+}  // namespace dg::data

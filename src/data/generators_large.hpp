@@ -1,0 +1,49 @@
+// Generators for the five Table III generalization targets. The paper's
+// designs (EPFL Arbiter/Squarer/Multiplier, Intel 80386 and Viper processor
+// netlists) are replaced with parameterized equivalents of the same design
+// class, matched in node count (tens of thousands — two orders of magnitude
+// above the training circuits) and structural profile (see DESIGN.md):
+//
+//   Arbiter    — blocked round-robin priority arbiter, deep and *heavily
+//                reconvergent* (the paper credits skip connections for the
+//                73.6% error reduction on this one)
+//   Squarer    — array squarer x*x (shared-operand partial products)
+//   Multiplier — array multiplier a*b
+//   80386      — 32-bit ALU/decode "processor slice", wide and shallow
+//   Viper      — 64-bit multi-unit datapath slice
+#pragma once
+
+#include "aig/aig.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+#include <string>
+#include <vector>
+
+namespace dg::data {
+
+/// Round-robin arbiter: `num_requests` request lines, `stages` cascaded
+/// arbitration rounds (each round removes the granted request and rotates
+/// the priority pointer).
+aig::Aig gen_arbiter(int num_requests, int stages);
+
+/// Array squarer over a `bits`-wide operand.
+aig::Aig gen_squarer(int bits);
+
+/// Array multiplier over two `bits`-wide operands.
+aig::Aig gen_multiplier(int bits);
+
+/// Processor execution slice: decode + `num_units` parallel ALU-class units
+/// over shared `width`-bit operand buses, merged through a result network.
+aig::Aig gen_processor_slice(int width, int num_units, std::uint64_t seed);
+
+struct LargeDesign {
+  std::string name;
+  aig::Aig aig;
+};
+
+/// The five Table III designs at a given scale (kPaper matches the paper's
+/// node counts; kSmall/kTiny shrink the parameters for CPU-budget runs).
+std::vector<LargeDesign> table3_designs(util::BenchScale scale);
+
+}  // namespace dg::data

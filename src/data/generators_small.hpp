@@ -1,0 +1,35 @@
+// Synthetic generators for the four benchmark families of Table I. The
+// paper's training set is sub-circuits windowed out of ITC'99, IWLS'05, EPFL
+// and OpenCores designs; those suites are not redistributable here, so each
+// generator produces randomized netlists with the structural character of
+// its family (see DESIGN.md, substitution table):
+//
+//   EPFL-like      — arithmetic: ripple/select adders, comparators, max, shift
+//   ITC'99-like    — control: SOP next-state planes, priority logic, muxing
+//   IWLS'05-like   — decoders, mux trees, parity networks, mixed glue
+//   OpenCores-like — CRC steps, gray code, counters, ALU slices
+//
+// All generators use the full multi-gate library (AND/OR/NAND/NOR/XOR/NOT),
+// which matters for the Table IV "w/o transformation" ablation.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+#include <string>
+#include <vector>
+
+namespace dg::data {
+
+netlist::Netlist gen_epfl_like(util::Rng& rng);
+netlist::Netlist gen_itc_like(util::Rng& rng);
+netlist::Netlist gen_iwls_like(util::Rng& rng);
+netlist::Netlist gen_opencores_like(util::Rng& rng);
+
+/// Family names accepted by generate_family, in Table I order.
+const std::vector<std::string>& family_names();
+
+/// Dispatch by family name ("EPFL", "ITC99", "IWLS", "Opencores").
+netlist::Netlist generate_family(const std::string& family, util::Rng& rng);
+
+}  // namespace dg::data

@@ -1,0 +1,123 @@
+#include "gnn/aggregators.hpp"
+
+#include "nn/ops.hpp"
+
+namespace dg::gnn {
+
+using nn::Tensor;
+
+const char* agg_kind_name(AggKind k) {
+  switch (k) {
+    case AggKind::kConvSum: return "Conv. Sum";
+    case AggKind::kAttention: return "Attention";
+    case AggKind::kDeepSet: return "DeepSet";
+    case AggKind::kGatedSum: return "GatedSum";
+  }
+  return "?";
+}
+
+namespace {
+
+/// m = mean over incoming edges of (W h_u).
+class ConvSumAggregator final : public Aggregator {
+ public:
+  ConvSumAggregator(int dim, util::Rng& rng) : lin_(dim, dim, rng) {}
+
+  Tensor forward(const Tensor& h_src, const Tensor& /*h_query*/, const std::vector<int>& seg,
+                 int num_dst, const Tensor& inv_deg, const Tensor& /*pe*/) const override {
+    const Tensor msgs = lin_.forward(h_src);
+    const Tensor summed = nn::scatter_add_rows(msgs, seg, num_dst);
+    return nn::scale_rows(summed, inv_deg);
+  }
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const override {
+    lin_.collect(out, prefix + ".conv");
+  }
+
+ private:
+  nn::Linear lin_;
+};
+
+/// m = W_post mean(relu(W_pre h_u)) — permutation-invariant set encoder.
+class DeepSetAggregator final : public Aggregator {
+ public:
+  DeepSetAggregator(int dim, util::Rng& rng) : pre_(dim, dim, rng), post_(dim, dim, rng) {}
+
+  Tensor forward(const Tensor& h_src, const Tensor& /*h_query*/, const std::vector<int>& seg,
+                 int num_dst, const Tensor& inv_deg, const Tensor& /*pe*/) const override {
+    const Tensor elem = nn::relu(pre_.forward(h_src));
+    const Tensor pooled = nn::scale_rows(nn::scatter_add_rows(elem, seg, num_dst), inv_deg);
+    return post_.forward(pooled);
+  }
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const override {
+    pre_.collect(out, prefix + ".pre");
+    post_.collect(out, prefix + ".post");
+  }
+
+ private:
+  nn::Linear pre_, post_;
+};
+
+/// m = sum of sigmoid(Wg h_u) o (Wm h_u) — D-VAE's gated sum.
+class GatedSumAggregator final : public Aggregator {
+ public:
+  GatedSumAggregator(int dim, util::Rng& rng) : gate_(dim, dim, rng), map_(dim, dim, rng) {}
+
+  Tensor forward(const Tensor& h_src, const Tensor& /*h_query*/, const std::vector<int>& seg,
+                 int num_dst, const Tensor& /*inv_deg*/, const Tensor& /*pe*/) const override {
+    const Tensor gated = nn::mul(nn::sigmoid(gate_.forward(h_src)), map_.forward(h_src));
+    return nn::scatter_add_rows(gated, seg, num_dst);
+  }
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const override {
+    gate_.collect(out, prefix + ".gate");
+    map_.collect(out, prefix + ".map");
+  }
+
+ private:
+  nn::Linear gate_, map_;
+};
+
+/// Additive attention of Eq. (5): score(u->v) = w1^T h_v^{t-1} + w2^T h_u^t
+/// (+ w3^T gamma(D) on skip edges), alpha = per-destination softmax, message
+/// m_v = sum alpha_uv h_u. Learns to weight controlling inputs highest.
+class AttentionAggregator final : public Aggregator {
+ public:
+  AttentionAggregator(int dim, int pe_dim, util::Rng& rng)
+      : query_(dim, 1, rng), key_(dim, 1, rng, /*bias=*/false),
+        pe_(pe_dim, 1, rng, /*bias=*/false) {}
+
+  Tensor forward(const Tensor& h_src, const Tensor& h_query, const std::vector<int>& seg,
+                 int num_dst, const Tensor& /*inv_deg*/, const Tensor& pe) const override {
+    const Tensor q = query_.forward(h_query);       // B x 1
+    const Tensor q_edges = nn::gather_rows(q, seg);  // E x 1
+    Tensor scores = nn::add(q_edges, key_.forward(h_src));
+    if (pe.defined() && pe.rows() > 0) scores = nn::add(scores, pe_.forward(pe));
+    const Tensor alpha = nn::softmax_segments(scores, seg, num_dst);
+    return nn::scatter_add_rows(nn::scale_rows(h_src, alpha), seg, num_dst);
+  }
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const override {
+    query_.collect(out, prefix + ".q");
+    key_.collect(out, prefix + ".k");
+    pe_.collect(out, prefix + ".pe");
+  }
+
+ private:
+  nn::Linear query_, key_, pe_;
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> make_aggregator(AggKind kind, int dim, int pe_dim, util::Rng& rng) {
+  switch (kind) {
+    case AggKind::kConvSum: return std::make_unique<ConvSumAggregator>(dim, rng);
+    case AggKind::kDeepSet: return std::make_unique<DeepSetAggregator>(dim, rng);
+    case AggKind::kGatedSum: return std::make_unique<GatedSumAggregator>(dim, rng);
+    case AggKind::kAttention: return std::make_unique<AttentionAggregator>(dim, pe_dim, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace dg::gnn

@@ -1,0 +1,44 @@
+// The four AGGREGATE designs evaluated in Table II:
+//   Conv. Sum — linear transform + degree-normalized sum  [NeuroSAT-style]
+//   Attention — additive query/key attention, Eq. (5)     [DeepGate / GAT]
+//   DeepSet   — elementwise MLP + sum + post-map           [circuit-SAT]
+//   GatedSum  — sigmoid-gated linear sum                   [D-VAE]
+//
+// All operate on a batch of edges targeting one set of destination nodes:
+// h_src (E x d) are current-source states, h_query (B x d) are the previous
+// states of the B destinations (attention only), seg maps each edge to its
+// destination, and pe carries per-edge positional encodings for skip edges.
+#pragma once
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dg::gnn {
+
+enum class AggKind { kConvSum, kAttention, kDeepSet, kGatedSum };
+
+const char* agg_kind_name(AggKind k);
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Returns B x d aggregated messages. `inv_deg` (B x 1 constant) provides
+  /// mean normalization for the sum-family aggregators. `pe` may be
+  /// undefined (no skip edges in the batch).
+  virtual nn::Tensor forward(const nn::Tensor& h_src, const nn::Tensor& h_query,
+                             const std::vector<int>& seg, int num_dst,
+                             const nn::Tensor& inv_deg, const nn::Tensor& pe) const = 0;
+
+  virtual void collect(nn::NamedParams& out, const std::string& prefix) const = 0;
+};
+
+/// Factory. `dim` is the hidden width d, `pe_dim` the skip-edge attribute
+/// width (2L); only the attention aggregator consumes pe.
+std::unique_ptr<Aggregator> make_aggregator(AggKind kind, int dim, int pe_dim, util::Rng& rng);
+
+}  // namespace dg::gnn

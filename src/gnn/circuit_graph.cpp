@@ -1,0 +1,172 @@
+#include "gnn/circuit_graph.hpp"
+
+#include "gnn/posenc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace dg::gnn {
+namespace {
+
+/// Assemble a LevelBatch from (src, dst, level_diff) triples whose dst nodes
+/// all live on one level. `level_diff < 0` marks a normal edge (zero PE row).
+LevelBatch build_batch(const std::vector<std::array<int, 3>>& batch_edges,
+                       const std::vector<int>& node_level, const std::vector<int>& node_pos,
+                       const std::vector<int>& dst_pos_in_level, int num_dst, int pe_L,
+                       bool with_pe) {
+  LevelBatch batch;
+  batch.num_edges = static_cast<int>(batch_edges.size());
+  if (batch.num_edges == 0) return batch;
+
+  // Sort edges by source level so gathers from per-level state tensors are
+  // contiguous ranges.
+  std::vector<int> order(batch_edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[static_cast<std::size_t>(i)] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return node_level[static_cast<std::size_t>(batch_edges[static_cast<std::size_t>(a)][0])] <
+           node_level[static_cast<std::size_t>(batch_edges[static_cast<std::size_t>(b)][0])];
+  });
+
+  if (with_pe) batch.pe = nn::Matrix::zeros(batch.num_edges, 2 * pe_L);
+  batch.seg.reserve(batch_edges.size());
+  std::vector<float> deg(static_cast<std::size_t>(num_dst), 0.0F);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const auto& e = batch_edges[static_cast<std::size_t>(order[k])];
+    const int src = e[0], dst = e[1], diff = e[2];
+    const int src_level = node_level[static_cast<std::size_t>(src)];
+    if (batch.groups.empty() || batch.groups.back().level != src_level)
+      batch.groups.push_back({src_level, {}});
+    batch.groups.back().pos.push_back(node_pos[static_cast<std::size_t>(src)]);
+    const int seg = dst_pos_in_level[static_cast<std::size_t>(dst)];
+    batch.seg.push_back(seg);
+    deg[static_cast<std::size_t>(seg)] += 1.0F;
+    if (with_pe && diff >= 0)
+      write_positional_encoding(batch.pe, static_cast<int>(k), diff, pe_L);
+  }
+  batch.inv_deg.resize(static_cast<std::size_t>(num_dst), 0.0F);
+  for (int i = 0; i < num_dst; ++i)
+    batch.inv_deg[static_cast<std::size_t>(i)] =
+        deg[static_cast<std::size_t>(i)] > 0.0F ? 1.0F / deg[static_cast<std::size_t>(i)] : 0.0F;
+  return batch;
+}
+
+}  // namespace
+
+void CircuitGraph::finalize(int pe_L) {
+  assert(num_nodes == static_cast<int>(type_id.size()));
+  assert(num_nodes == static_cast<int>(level.size()));
+
+  num_levels = 0;
+  for (int l : level) num_levels = std::max(num_levels, l + 1);
+
+  nodes_at_level.assign(static_cast<std::size_t>(num_levels), {});
+  for (int v = 0; v < num_nodes; ++v)
+    nodes_at_level[static_cast<std::size_t>(level[static_cast<std::size_t>(v)])].push_back(v);
+
+  level_order.clear();
+  level_order.reserve(static_cast<std::size_t>(num_nodes));
+  node_pos.assign(static_cast<std::size_t>(num_nodes), 0);
+  for (const auto& nodes : nodes_at_level) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      node_pos[static_cast<std::size_t>(nodes[i])] = static_cast<int>(i);
+      level_order.push_back(nodes[i]);
+    }
+  }
+
+  // Bucket edges by destination level (forward) and source level (reverse).
+  std::vector<std::vector<std::array<int, 3>>> fwd_edges(static_cast<std::size_t>(num_levels));
+  std::vector<std::vector<std::array<int, 3>>> fwd_skip_edges(static_cast<std::size_t>(num_levels));
+  std::vector<std::vector<std::array<int, 3>>> rev_edges(static_cast<std::size_t>(num_levels));
+  for (const auto& [src, dst] : edges) {
+    const int dl = level[static_cast<std::size_t>(dst)];
+    const int sl = level[static_cast<std::size_t>(src)];
+    fwd_edges[static_cast<std::size_t>(dl)].push_back({src, dst, -1});
+    fwd_skip_edges[static_cast<std::size_t>(dl)].push_back({src, dst, -1});
+    rev_edges[static_cast<std::size_t>(sl)].push_back({dst, src, -1});  // reversed direction
+  }
+  for (const auto& e : skip_edges) {
+    const int dl = level[static_cast<std::size_t>(e.dst)];
+    fwd_skip_edges[static_cast<std::size_t>(dl)].push_back({e.src, e.dst, e.level_diff});
+  }
+
+  fwd.assign(static_cast<std::size_t>(num_levels), {});
+  fwd_skip.assign(static_cast<std::size_t>(num_levels), {});
+  rev.assign(static_cast<std::size_t>(num_levels), {});
+  for (int L = 0; L < num_levels; ++L) {
+    const int num_dst = static_cast<int>(nodes_at_level[static_cast<std::size_t>(L)].size());
+    fwd[static_cast<std::size_t>(L)] =
+        build_batch(fwd_edges[static_cast<std::size_t>(L)], level, node_pos, node_pos, num_dst,
+                    pe_L, /*with_pe=*/false);
+    fwd_skip[static_cast<std::size_t>(L)] =
+        build_batch(fwd_skip_edges[static_cast<std::size_t>(L)], level, node_pos, node_pos,
+                    num_dst, pe_L, /*with_pe=*/true);
+    rev[static_cast<std::size_t>(L)] =
+        build_batch(rev_edges[static_cast<std::size_t>(L)], level, node_pos, node_pos, num_dst,
+                    pe_L, /*with_pe=*/false);
+  }
+
+  // Undirected whole-graph arrays for GCN.
+  und_src.clear();
+  und_dst.clear();
+  und_src.reserve(edges.size() * 2);
+  und_dst.reserve(edges.size() * 2);
+  std::vector<float> deg(static_cast<std::size_t>(num_nodes), 0.0F);
+  for (const auto& [src, dst] : edges) {
+    und_src.push_back(src);
+    und_dst.push_back(dst);
+    und_src.push_back(dst);
+    und_dst.push_back(src);
+    deg[static_cast<std::size_t>(src)] += 1.0F;
+    deg[static_cast<std::size_t>(dst)] += 1.0F;
+  }
+  und_inv_deg.resize(static_cast<std::size_t>(num_nodes));
+  for (int v = 0; v < num_nodes; ++v)
+    und_inv_deg[static_cast<std::size_t>(v)] =
+        deg[static_cast<std::size_t>(v)] > 0.0F ? 1.0F / deg[static_cast<std::size_t>(v)] : 0.0F;
+
+  nodes_of_type.assign(static_cast<std::size_t>(num_types), {});
+  for (int v = 0; v < num_nodes; ++v)
+    nodes_of_type[static_cast<std::size_t>(type_id[static_cast<std::size_t>(v)])].push_back(v);
+}
+
+CircuitGraph CircuitGraph::from_gate_graph(const aig::GateGraph& g,
+                                           const std::vector<double>& labels, int pe_L) {
+  assert(labels.size() == g.size());
+  CircuitGraph cg;
+  cg.num_nodes = static_cast<int>(g.size());
+  cg.num_types = 3;
+  cg.type_id.resize(g.size());
+  cg.level = g.level;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    cg.type_id[v] = static_cast<int>(g.kind[v]);
+    for (int s = 0; s < 2; ++s)
+      if (g.fanin[v][s] >= 0) cg.edges.emplace_back(g.fanin[v][s], static_cast<int>(v));
+  }
+  cg.labels.assign(labels.begin(), labels.end());
+  cg.skip_edges = analysis::find_reconvergences(g);
+  cg.finalize(pe_L);
+  return cg;
+}
+
+CircuitGraph CircuitGraph::from_netlist(const netlist::Netlist& nl,
+                                        const std::vector<double>& labels, int pe_L) {
+  assert(labels.size() == nl.size());
+  CircuitGraph cg;
+  cg.num_nodes = static_cast<int>(nl.size());
+  cg.num_types = 9;
+  cg.type_id.resize(nl.size());
+  cg.level = nl.levels();
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    cg.type_id[i] = static_cast<int>(nl.gate(static_cast<int>(i)).type);
+    for (int f : nl.gate(static_cast<int>(i)).fanins)
+      cg.edges.emplace_back(f, static_cast<int>(i));
+  }
+  cg.labels.assign(labels.begin(), labels.end());
+  // Raw netlists get no skip edges (the paper only applies the reconvergence
+  // machinery to AIGs); fwd_skip degenerates to fwd with PE columns.
+  cg.finalize(pe_L);
+  return cg;
+}
+
+}  // namespace dg::gnn

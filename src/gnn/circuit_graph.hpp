@@ -1,0 +1,79 @@
+// The model-facing circuit graph: a typed levelized DAG with per-level edge
+// batches (the "topological batching" of Thost & Chen the paper uses for
+// training speed) plus skip-connection batches for DeepGate's reconvergence
+// handling.
+//
+// Built from either an AIG gate graph (3 node types: PI/AND/NOT) or a raw
+// multi-gate netlist (9 types — the paper's "w/o transformation" ablation).
+#pragma once
+
+#include "aig/gate_graph.hpp"
+#include "analysis/reconvergence.hpp"
+#include "netlist/netlist.hpp"
+#include "nn/matrix.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace dg::gnn {
+
+/// Edges received by the nodes of one level, pre-sorted by source level so a
+/// single row-concat of per-level gathers produces the edge-ordered batch.
+struct LevelBatch {
+  struct SrcGroup {
+    int level = 0;           ///< level the sources live on
+    std::vector<int> pos;    ///< row indices within that level's state tensor
+  };
+  std::vector<SrcGroup> groups;
+  std::vector<int> seg;      ///< per edge: dst position within the level (0..B-1)
+  nn::Matrix pe;             ///< per-edge positional encoding rows; empty if none
+  std::vector<float> inv_deg;///< per dst node: 1 / indegree (for mean aggregators)
+  int num_edges = 0;
+
+  bool empty() const { return num_edges == 0; }
+};
+
+struct CircuitGraph {
+  int num_nodes = 0;
+  int num_types = 3;
+  int num_levels = 0;
+  std::vector<int> type_id;                 ///< per node, in [0, num_types)
+  std::vector<int> level;                   ///< forward logic level per node
+  std::vector<std::pair<int, int>> edges;   ///< directed (src, dst)
+  std::vector<analysis::SkipEdge> skip_edges;
+  std::vector<float> labels;                ///< simulated signal probabilities
+
+  // Level layout.
+  std::vector<std::vector<int>> nodes_at_level;
+  std::vector<int> level_order;  ///< nodes concatenated level by level
+  std::vector<int> node_pos;     ///< node -> row within its level tensor
+
+  // Per-level batches. fwd[L] feeds level L from predecessors (L >= 1);
+  // fwd_skip additionally contains skip edges with gamma(D) attributes;
+  // rev[L] feeds level L from successors (processed in decreasing L).
+  std::vector<LevelBatch> fwd;
+  std::vector<LevelBatch> fwd_skip;
+  std::vector<LevelBatch> rev;
+
+  // Whole-graph undirected arrays for GCN-style models.
+  std::vector<int> und_src, und_dst;
+  std::vector<float> und_inv_deg;  ///< per node
+
+  // Node indices grouped by type (for the per-type regressor heads).
+  std::vector<std::vector<int>> nodes_of_type;
+
+  /// Compute all derived structures. `pe_L` is the L of Eq. (7) (encoding
+  /// width 2L). Must be called after type_id/level/edges/skip_edges are set.
+  void finalize(int pe_L = 8);
+
+  /// Build from an explicit AIG gate graph with simulated labels; detects
+  /// reconvergences internally.
+  static CircuitGraph from_gate_graph(const aig::GateGraph& g, const std::vector<double>& labels,
+                                      int pe_L = 8);
+
+  /// Build from a raw netlist (num_types = 9, one-hot over GateType).
+  static CircuitGraph from_netlist(const netlist::Netlist& nl, const std::vector<double>& labels,
+                                   int pe_L = 8);
+};
+
+}  // namespace dg::gnn

@@ -1,0 +1,58 @@
+// DAG-ConvGNN baseline (Eq. 3): L stacked layers with per-layer parameters.
+// Within a layer, levels are processed in topological order and aggregation
+// reads the CURRENT layer's already-updated predecessor states; there is no
+// reversed propagation and no recurrence.
+#include "gnn/models.hpp"
+
+namespace dg::gnn {
+namespace {
+
+using nn::Tensor;
+
+class DagConvModel final : public Model {
+ public:
+  explicit DagConvModel(const ModelConfig& cfg_in) : Model(cfg_in) {
+    cfg_.use_skip = false;
+    cfg_.refeed_input = false;  // h0 = x padded, per the pre-DeepGate designs
+    cfg_.random_h0 = false;
+    util::Rng rng(cfg_.seed);
+    for (int l = 0; l < cfg_.iterations; ++l)
+      layers_.emplace_back(cfg_, /*reversed=*/false, rng);
+    regressor_ = Regressor(cfg_.num_types, cfg_.dim, cfg_.mlp_hidden, rng);
+  }
+
+  Tensor embed(const CircuitGraph& g) const override {
+    auto states = init_level_states(g, cfg_.dim, /*random_init=*/false, cfg_.seed);
+    const auto x_lvl = level_onehot(g);
+    for (const auto& layer : layers_) {
+      // Queries (h^{l-1}) are the states at layer entry.
+      const std::vector<Tensor> queries = states;
+      layer.run(g, states, queries, x_lvl);
+    }
+    return full_from_levels(states, g);
+  }
+
+  Tensor predict(const CircuitGraph& g) const override {
+    return regressor_.forward(embed(g), g);
+  }
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const override {
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+      layers_[l].collect(out, prefix + ".layer" + std::to_string(l));
+    regressor_.collect(out, prefix + ".regressor");
+  }
+
+  const char* name() const override { return "DAG-ConvGNN"; }
+
+ private:
+  std::vector<DirectedLayer> layers_;
+  Regressor regressor_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_dag_conv(const ModelConfig& cfg) {
+  return std::make_unique<DagConvModel>(cfg);
+}
+
+}  // namespace dg::gnn

@@ -1,0 +1,91 @@
+// Recurrent DAG propagation (Eq. 4) — the shared engine behind both the
+// DAG-RecGNN baseline and DeepGate itself. One forward layer followed by one
+// reversed layer (separate parameters, Sec. III-C), applied T times; queries
+// for the attention aggregator are the states at entry of each directional
+// sweep (h^{t-1} of Eq. 5).
+#include "gnn/models.hpp"
+
+namespace dg::gnn {
+namespace {
+
+using nn::Tensor;
+
+class RecurrentDagModel final : public Model {
+ public:
+  RecurrentDagModel(const ModelConfig& cfg_in, const char* display_name)
+      : Model(cfg_in), name_(display_name) {
+    util::Rng rng(cfg_.seed);
+    fwd_ = std::make_unique<DirectedLayer>(cfg_, /*reversed=*/false, rng);
+    if (cfg_.reverse) rev_ = std::make_unique<DirectedLayer>(cfg_, /*reversed=*/true, rng);
+    regressor_ = Regressor(cfg_.num_types, cfg_.dim, cfg_.mlp_hidden, rng);
+  }
+
+  Tensor predict(const CircuitGraph& g) const override {
+    return predict_iterations(g, cfg_.iterations);
+  }
+
+  Tensor predict_iterations(const CircuitGraph& g, int iterations) const override {
+    return regressor_.forward(embed_iterations(g, iterations), g);
+  }
+
+  Tensor embed(const CircuitGraph& g) const override {
+    return embed_iterations(g, cfg_.iterations);
+  }
+
+  Tensor embed_iterations(const CircuitGraph& g, int iterations) const {
+    auto states = init_level_states(g, cfg_.dim, cfg_.random_h0, cfg_.seed);
+    const auto x_lvl = level_onehot(g);
+    for (int t = 0; t < iterations; ++t) {
+      {
+        const std::vector<Tensor> queries = states;
+        fwd_->run(g, states, queries, x_lvl);
+      }
+      if (rev_) {
+        const std::vector<Tensor> queries = states;
+        rev_->run(g, states, queries, x_lvl);
+      }
+    }
+    return full_from_levels(states, g);
+  }
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const override {
+    fwd_->collect(out, prefix + ".fwd");
+    if (rev_) rev_->collect(out, prefix + ".rev");
+    regressor_.collect(out, prefix + ".regressor");
+  }
+
+  const char* name() const override { return name_; }
+
+ private:
+  const char* name_;
+  std::unique_ptr<DirectedLayer> fwd_;
+  std::unique_ptr<DirectedLayer> rev_;
+  Regressor regressor_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_dag_rec(const ModelConfig& cfg_in) {
+  ModelConfig cfg = cfg_in;
+  // The pre-DeepGate recurrent design: h0 carries the gate type (x-padded),
+  // no refeed, no skip connections.
+  cfg.use_skip = false;
+  cfg.refeed_input = false;
+  cfg.random_h0 = false;
+  return std::make_unique<RecurrentDagModel>(cfg, "DAG-RecGNN");
+}
+
+std::unique_ptr<Model> make_deepgate(const ModelConfig& cfg_in) {
+  ModelConfig cfg = cfg_in;
+  cfg.agg = AggKind::kAttention;
+  cfg.refeed_input = true;
+  cfg.random_h0 = true;
+  cfg.reverse = true;
+  return std::make_unique<RecurrentDagModel>(cfg, "DeepGate");
+}
+
+std::unique_ptr<Model> make_recurrent_custom(const ModelConfig& cfg) {
+  return std::make_unique<RecurrentDagModel>(cfg, "DeepGate-custom");
+}
+
+}  // namespace dg::gnn

@@ -1,0 +1,39 @@
+// Model-zoo helpers: build any Table II row (family x aggregator x skip)
+// from a declarative spec. The benchmark harnesses iterate over specs.
+#include "gnn/models.hpp"
+
+namespace dg::gnn {
+
+const char* model_family_name(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kGcn: return "GCN";
+    case ModelFamily::kDagConv: return "DAG-ConvGNN";
+    case ModelFamily::kDagRec: return "DAG-RecGNN";
+    case ModelFamily::kDeepGate: return "DeepGate";
+  }
+  return "?";
+}
+
+std::unique_ptr<Model> make_model(const ModelSpec& spec, const ModelConfig& cfg_in) {
+  ModelConfig cfg = cfg_in;
+  cfg.agg = spec.agg;
+  cfg.use_skip = spec.use_skip;
+  switch (spec.family) {
+    case ModelFamily::kGcn: return make_gcn(cfg);
+    case ModelFamily::kDagConv: return make_dag_conv(cfg);
+    case ModelFamily::kDagRec: return make_dag_rec(cfg);
+    case ModelFamily::kDeepGate: return make_deepgate(cfg);
+  }
+  return nullptr;
+}
+
+std::string model_spec_label(const ModelSpec& spec) {
+  std::string label = model_family_name(spec.family);
+  label += " / ";
+  label += agg_kind_name(spec.agg);
+  if (spec.family == ModelFamily::kDeepGate)
+    label += spec.use_skip ? " w/ SC" : " w/o SC";
+  return label;
+}
+
+}  // namespace dg::gnn

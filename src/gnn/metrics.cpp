@@ -1,0 +1,45 @@
+#include "gnn/metrics.hpp"
+
+#include <cmath>
+
+namespace dg::gnn {
+
+double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& pred) {
+  double total = 0.0;
+  for (std::size_t v = 0; v < labels.size(); ++v)
+    total += std::abs(static_cast<double>(pred.at(static_cast<int>(v), 0)) -
+                      static_cast<double>(labels[v]));
+  return labels.empty() ? 0.0 : total / static_cast<double>(labels.size());
+}
+
+double evaluate(const Model& model, const std::vector<CircuitGraph>& test_set,
+                int iterations_override) {
+  nn::NoGradGuard no_grad;
+  double total = 0.0;
+  std::size_t nodes = 0;
+  for (const auto& g : test_set) {
+    const nn::Tensor pred = iterations_override > 0
+                                ? model.predict_iterations(g, iterations_override)
+                                : model.predict(g);
+    total += avg_prediction_error(g.labels, pred.value()) * static_cast<double>(g.num_nodes);
+    nodes += static_cast<std::size_t>(g.num_nodes);
+  }
+  return nodes == 0 ? 0.0 : total / static_cast<double>(nodes);
+}
+
+std::vector<double> evaluate_per_circuit(const Model& model,
+                                         const std::vector<CircuitGraph>& test_set,
+                                         int iterations_override) {
+  nn::NoGradGuard no_grad;
+  std::vector<double> errors;
+  errors.reserve(test_set.size());
+  for (const auto& g : test_set) {
+    const nn::Tensor pred = iterations_override > 0
+                                ? model.predict_iterations(g, iterations_override)
+                                : model.predict(g);
+    errors.push_back(avg_prediction_error(g.labels, pred.value()));
+  }
+  return errors;
+}
+
+}  // namespace dg::gnn

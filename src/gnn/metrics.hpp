@@ -1,0 +1,25 @@
+// Evaluation metrics. The paper's metric (Eq. 8) is the average absolute
+// difference between simulated and predicted probability over every node of
+// every evaluated circuit.
+#pragma once
+
+#include "gnn/model_common.hpp"
+
+#include <vector>
+
+namespace dg::gnn {
+
+/// Eq. (8) over one circuit with an explicit prediction vector.
+double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& pred);
+
+/// Eq. (8) over a whole set: sum |y - y_hat| / total node count. Runs under
+/// NoGradGuard. `iterations_override` > 0 forces the inference T.
+double evaluate(const Model& model, const std::vector<CircuitGraph>& test_set,
+                int iterations_override = 0);
+
+/// Per-circuit errors (same order as `test_set`).
+std::vector<double> evaluate_per_circuit(const Model& model,
+                                         const std::vector<CircuitGraph>& test_set,
+                                         int iterations_override = 0);
+
+}  // namespace dg::gnn

@@ -1,0 +1,164 @@
+#include "gnn/model_common.hpp"
+
+#include "nn/init.hpp"
+#include "nn/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dg::gnn {
+
+using nn::Tensor;
+
+Regressor::Regressor(int num_types, int dim, int hidden, util::Rng& rng) {
+  heads_.reserve(static_cast<std::size_t>(num_types));
+  for (int t = 0; t < num_types; ++t)
+    heads_.emplace_back(std::vector<int>{dim, hidden, 1}, nn::OutputActivation::kSigmoid, rng);
+}
+
+Tensor Regressor::forward(const Tensor& h_full, const CircuitGraph& g) const {
+  assert(static_cast<int>(heads_.size()) == g.num_types);
+  Tensor out;
+  for (int t = 0; t < g.num_types; ++t) {
+    const auto& idx = g.nodes_of_type[static_cast<std::size_t>(t)];
+    if (idx.empty()) continue;
+    const Tensor rows = nn::gather_rows(h_full, idx);
+    const Tensor y = heads_[static_cast<std::size_t>(t)].forward(rows);
+    const Tensor scattered = nn::scatter_add_rows(y, idx, g.num_nodes);
+    out = out.defined() ? nn::add(out, scattered) : scattered;
+  }
+  return out;
+}
+
+void Regressor::collect(nn::NamedParams& out, const std::string& prefix) const {
+  for (std::size_t t = 0; t < heads_.size(); ++t)
+    heads_[t].collect(out, prefix + ".head" + std::to_string(t));
+}
+
+std::vector<Tensor> level_onehot(const CircuitGraph& g) {
+  std::vector<Tensor> x;
+  x.reserve(static_cast<std::size_t>(g.num_levels));
+  for (const auto& nodes : g.nodes_at_level) {
+    nn::Matrix m(static_cast<int>(nodes.size()), g.num_types);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      m.at(static_cast<int>(i), g.type_id[static_cast<std::size_t>(nodes[i])]) = 1.0F;
+    x.push_back(nn::constant(std::move(m)));
+  }
+  return x;
+}
+
+Tensor full_onehot(const CircuitGraph& g) {
+  nn::Matrix m(g.num_nodes, g.num_types);
+  for (int v = 0; v < g.num_nodes; ++v)
+    m.at(v, g.type_id[static_cast<std::size_t>(v)]) = 1.0F;
+  return nn::constant(std::move(m));
+}
+
+namespace {
+
+nn::Matrix padded_onehot_rows(const std::vector<int>& nodes, const CircuitGraph& g, int dim) {
+  nn::Matrix m(static_cast<int>(nodes.size()), dim);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    m.at(static_cast<int>(i), g.type_id[static_cast<std::size_t>(nodes[i])]) = 1.0F;
+  return m;
+}
+
+nn::Matrix random_rows(int rows, int dim, util::Rng& rng) {
+  const float stddev = 1.0F / std::sqrt(static_cast<float>(dim));
+  return nn::normal(rows, dim, stddev, rng);
+}
+
+}  // namespace
+
+std::vector<Tensor> init_level_states(const CircuitGraph& g, int dim, bool random_init,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xd1f7a2b3c4e5f607ULL);
+  std::vector<Tensor> states;
+  states.reserve(static_cast<std::size_t>(g.num_levels));
+  for (const auto& nodes : g.nodes_at_level) {
+    nn::Matrix m = random_init ? random_rows(static_cast<int>(nodes.size()), dim, rng)
+                               : padded_onehot_rows(nodes, g, dim);
+    states.push_back(nn::constant(std::move(m)));
+  }
+  return states;
+}
+
+Tensor init_full_state(const CircuitGraph& g, int dim, bool random_init, std::uint64_t seed) {
+  if (random_init) {
+    util::Rng rng(seed ^ 0xd1f7a2b3c4e5f607ULL);
+    return nn::constant(random_rows(g.num_nodes, dim, rng));
+  }
+  nn::Matrix m(g.num_nodes, dim);
+  for (int v = 0; v < g.num_nodes; ++v)
+    m.at(v, g.type_id[static_cast<std::size_t>(v)]) = 1.0F;
+  return nn::constant(std::move(m));
+}
+
+Tensor full_from_levels(const std::vector<Tensor>& states, const CircuitGraph& g) {
+  const Tensor stacked = nn::concat_rows(states);  // rows in level order
+  return nn::gather_rows(stacked, [&] {
+    // permutation: node v sits at row offset(level) + node_pos[v]
+    std::vector<int> row_of_node(static_cast<std::size_t>(g.num_nodes));
+    std::vector<int> offset(static_cast<std::size_t>(g.num_levels), 0);
+    int acc = 0;
+    for (int l = 0; l < g.num_levels; ++l) {
+      offset[static_cast<std::size_t>(l)] = acc;
+      acc += static_cast<int>(g.nodes_at_level[static_cast<std::size_t>(l)].size());
+    }
+    for (int v = 0; v < g.num_nodes; ++v)
+      row_of_node[static_cast<std::size_t>(v)] =
+          offset[static_cast<std::size_t>(g.level[static_cast<std::size_t>(v)])] +
+          g.node_pos[static_cast<std::size_t>(v)];
+    return row_of_node;
+  }());
+}
+
+Tensor gather_batch_sources(const std::vector<Tensor>& states, const LevelBatch& batch) {
+  std::vector<Tensor> parts;
+  parts.reserve(batch.groups.size());
+  for (const auto& group : batch.groups)
+    parts.push_back(nn::gather_rows(states[static_cast<std::size_t>(group.level)], group.pos));
+  return parts.size() == 1 ? parts[0] : nn::concat_rows(parts);
+}
+
+DirectedLayer::DirectedLayer(const ModelConfig& cfg, bool reversed, util::Rng& rng)
+    : reversed_(reversed),
+      use_skip_(cfg.use_skip && !reversed),
+      refeed_(cfg.refeed_input),
+      agg_(make_aggregator(cfg.agg, cfg.dim, 2 * cfg.pe_L, rng)),
+      gru_(refeed_ ? cfg.dim + cfg.num_types : cfg.dim, cfg.dim, rng) {}
+
+void DirectedLayer::run(const CircuitGraph& g, std::vector<Tensor>& states,
+                        const std::vector<Tensor>& queries,
+                        const std::vector<Tensor>& x_lvl) const {
+  const auto process_level = [&](int L) {
+    const LevelBatch& batch = reversed_ ? g.rev[static_cast<std::size_t>(L)]
+                              : use_skip_ ? g.fwd_skip[static_cast<std::size_t>(L)]
+                                          : g.fwd[static_cast<std::size_t>(L)];
+    if (batch.empty()) return;
+    const int num_dst = static_cast<int>(g.nodes_at_level[static_cast<std::size_t>(L)].size());
+    const Tensor h_src = gather_batch_sources(states, batch);
+    Tensor pe;
+    if (batch.pe.rows() > 0) pe = nn::constant(batch.pe);
+    const Tensor inv_deg = nn::constant(
+        nn::Matrix::from_vector(num_dst, 1, std::vector<float>(batch.inv_deg)));
+    const Tensor m = agg_->forward(h_src, queries[static_cast<std::size_t>(L)], batch.seg,
+                                   num_dst, inv_deg, pe);
+    const Tensor input = refeed_ ? nn::concat_cols(m, x_lvl[static_cast<std::size_t>(L)]) : m;
+    states[static_cast<std::size_t>(L)] =
+        gru_.forward(input, states[static_cast<std::size_t>(L)]);
+  };
+
+  if (!reversed_) {
+    for (int L = 1; L < g.num_levels; ++L) process_level(L);
+  } else {
+    for (int L = g.num_levels - 2; L >= 0; --L) process_level(L);
+  }
+}
+
+void DirectedLayer::collect(nn::NamedParams& out, const std::string& prefix) const {
+  agg_->collect(out, prefix + ".agg");
+  gru_.collect(out, prefix + ".gru");
+}
+
+}  // namespace dg::gnn

@@ -1,0 +1,125 @@
+// Shared model infrastructure: configuration, the Model interface, the
+// per-gate-type regressor (Sec. III-C "Regressor": MLP weights shared for
+// nodes of the same gate type), per-level state helpers, and the directed
+// propagation layer used by every DAG model (forward and reversed).
+#pragma once
+
+#include "gnn/aggregators.hpp"
+#include "gnn/circuit_graph.hpp"
+#include "nn/gru.hpp"
+#include "nn/mlp.hpp"
+
+#include <memory>
+#include <string>
+
+namespace dg::gnn {
+
+struct ModelConfig {
+  int dim = 64;            ///< hidden width d (paper: 64)
+  int iterations = 10;     ///< T for recurrent models, L for stacked models
+  AggKind agg = AggKind::kAttention;
+  bool use_skip = false;   ///< DeepGate w/ SC: include skip-connection edges
+  bool reverse = true;     ///< run a reversed layer after each forward layer
+  bool refeed_input = true;///< concat gate-type one-hot into the GRU input
+                           ///< every iteration (DeepGate) vs only via h0
+  bool random_h0 = true;   ///< random initial states (DeepGate) vs x-padded
+  int num_types = 3;       ///< 3 for AIGs, 9 for raw netlists
+  int pe_L = 8;            ///< Eq. (7) L; encoding width 2L
+  int mlp_hidden = 32;     ///< regressor hidden width
+  std::uint64_t seed = 7;  ///< weight init + h0 stream
+};
+
+class Model {
+ public:
+  explicit Model(const ModelConfig& cfg) : cfg_(cfg) {}
+  virtual ~Model() = default;
+
+  /// Per-node probability predictions (N x 1, sigmoid-bounded). Builds a
+  /// fresh tape; wrap in nn::NoGradGuard for inference.
+  virtual nn::Tensor predict(const CircuitGraph& g) const = 0;
+
+  /// Inference with an overridden recurrence count (Sec. IV-D.2: "the number
+  /// of iterations T can be set as different values" at inference time).
+  /// Non-recurrent models ignore the override.
+  virtual nn::Tensor predict_iterations(const CircuitGraph& g, int /*iterations*/) const {
+    return predict(g);
+  }
+
+  /// Final node embeddings (N x d) — the learned representation the paper
+  /// positions as the reusable artifact for downstream EDA tasks.
+  virtual nn::Tensor embed(const CircuitGraph& g) const = 0;
+
+  virtual void collect(nn::NamedParams& out, const std::string& prefix) const = 0;
+  virtual const char* name() const = 0;
+
+  nn::NamedParams named_params() const {
+    nn::NamedParams p;
+    collect(p, "model");
+    return p;
+  }
+  const ModelConfig& config() const { return cfg_; }
+
+ protected:
+  ModelConfig cfg_;
+};
+
+/// Per-type MLP regression heads with sigmoid output.
+class Regressor {
+ public:
+  Regressor() = default;
+  Regressor(int num_types, int dim, int hidden, util::Rng& rng);
+
+  /// h_full: N x d node states in node order -> N x 1 predictions.
+  nn::Tensor forward(const nn::Tensor& h_full, const CircuitGraph& g) const;
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const;
+
+ private:
+  std::vector<nn::Mlp> heads_;
+};
+
+// -- Per-level state helpers --------------------------------------------------
+
+/// One-hot gate-type features for each level (B_L x num_types constants).
+std::vector<nn::Tensor> level_onehot(const CircuitGraph& g);
+
+/// One-hot features for the whole graph (N x num_types constant).
+nn::Tensor full_onehot(const CircuitGraph& g);
+
+/// Initial per-level hidden states: seeded-random N(0, 1/sqrt(d)) rows
+/// (DeepGate) or the one-hot features zero-padded to width d (baselines).
+std::vector<nn::Tensor> init_level_states(const CircuitGraph& g, int dim, bool random_init,
+                                          std::uint64_t seed);
+
+/// Same for whole-graph models.
+nn::Tensor init_full_state(const CircuitGraph& g, int dim, bool random_init, std::uint64_t seed);
+
+/// Stitch per-level states back into node order (N x d).
+nn::Tensor full_from_levels(const std::vector<nn::Tensor>& states, const CircuitGraph& g);
+
+/// Concat gathers from per-level states into the edge-ordered source batch.
+nn::Tensor gather_batch_sources(const std::vector<nn::Tensor>& states, const LevelBatch& batch);
+
+/// One directed propagation sweep (a "forward layer" or "reversed layer" of
+/// Fig. 2b): walks levels in topological (or reverse) order, aggregates
+/// predecessor (successor) messages and updates states with a GRU.
+class DirectedLayer {
+ public:
+  DirectedLayer(const ModelConfig& cfg, bool reversed, util::Rng& rng);
+
+  /// `states` is updated level by level; `queries` supplies h^{t-1} for the
+  /// attention aggregator; `x_lvl` supplies the refed gate-type features.
+  void run(const CircuitGraph& g, std::vector<nn::Tensor>& states,
+           const std::vector<nn::Tensor>& queries, const std::vector<nn::Tensor>& x_lvl) const;
+
+  void collect(nn::NamedParams& out, const std::string& prefix) const;
+
+ private:
+  bool reversed_;
+  bool use_skip_;
+  bool refeed_;
+  std::unique_ptr<Aggregator> agg_;
+  nn::GruCell gru_;
+};
+
+}  // namespace dg::gnn

@@ -1,0 +1,47 @@
+// Factories for the four model families of Table II.
+//
+//   GCN          — undirected message passing, L stacked layers (Eq. 1)
+//   DAG-ConvGNN  — topological propagation, L stacked layers (Eq. 3)
+//   DAG-RecGNN   — recurrent forward+reversed GRU propagation, T steps (Eq. 4)
+//   DeepGate     — DAG-RecGNN + additive attention + gate-type refeed +
+//                  optional reconvergence skip connections (Sec. III-C/D)
+#pragma once
+
+#include "gnn/model_common.hpp"
+
+#include <memory>
+
+namespace dg::gnn {
+
+std::unique_ptr<Model> make_gcn(const ModelConfig& cfg);
+std::unique_ptr<Model> make_dag_conv(const ModelConfig& cfg);
+std::unique_ptr<Model> make_dag_rec(const ModelConfig& cfg);
+
+/// DeepGate: forces attention aggregation, input refeed and random h0;
+/// `cfg.use_skip` selects the "w/ SC" vs "w/o SC" variant.
+std::unique_ptr<Model> make_deepgate(const ModelConfig& cfg);
+
+/// Recurrent model honoring every flag in `cfg` verbatim (no forcing) —
+/// used by the design-choice ablation bench to switch individual DeepGate
+/// ingredients off.
+std::unique_ptr<Model> make_recurrent_custom(const ModelConfig& cfg);
+
+/// One row of Table II: a model family + aggregator (+ skip flag).
+enum class ModelFamily { kGcn, kDagConv, kDagRec, kDeepGate };
+
+struct ModelSpec {
+  ModelFamily family = ModelFamily::kDeepGate;
+  AggKind agg = AggKind::kAttention;
+  bool use_skip = false;
+};
+
+const char* model_family_name(ModelFamily family);
+
+/// Build any Table II row from its spec; `cfg.agg`/`cfg.use_skip` are
+/// overridden by the spec.
+std::unique_ptr<Model> make_model(const ModelSpec& spec, const ModelConfig& cfg);
+
+/// Display label like "DeepGate / Attention w/ SC".
+std::string model_spec_label(const ModelSpec& spec);
+
+}  // namespace dg::gnn

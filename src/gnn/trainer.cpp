@@ -1,0 +1,57 @@
+#include "gnn/trainer.hpp"
+
+#include "nn/ops.hpp"
+#include "nn/optim.hpp"
+#include "util/log.hpp"
+
+#include <numeric>
+
+namespace dg::gnn {
+
+TrainResult train(Model& model, const std::vector<CircuitGraph>& train_set,
+                  const TrainConfig& cfg) {
+  TrainResult result;
+  if (train_set.empty() || cfg.epochs <= 0) return result;
+
+  util::Timer timer;
+  nn::Adam opt(nn::param_tensors(model.named_params()), cfg.lr);
+  util::Rng rng(cfg.seed);
+
+  std::vector<int> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    opt.zero_grad();
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const CircuitGraph& g = train_set[static_cast<std::size_t>(order[k])];
+      const nn::Tensor pred = model.predict(g);
+      const nn::Matrix target =
+          nn::Matrix::from_vector(g.num_nodes, 1, std::vector<float>(g.labels));
+      // Scale so one optimizer step sees the mean loss over the batch.
+      const nn::Tensor loss =
+          nn::scale(nn::l1_loss(pred, target), 1.0F / static_cast<float>(cfg.batch_circuits));
+      loss.backward();
+      epoch_loss += static_cast<double>(loss.item()) * cfg.batch_circuits;
+      ++in_batch;
+      const bool last = (k + 1 == order.size());
+      if (in_batch == cfg.batch_circuits || last) {
+        opt.clip_grad_norm(cfg.clip_norm);
+        opt.step();
+        opt.zero_grad();
+        in_batch = 0;
+      }
+    }
+    epoch_loss /= static_cast<double>(train_set.size());
+    result.epoch_loss.push_back(epoch_loss);
+    if (cfg.verbose)
+      util::log_info(model.name(), " epoch ", epoch + 1, "/", cfg.epochs, " L1=",
+                     epoch_loss);
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace dg::gnn

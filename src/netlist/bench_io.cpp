@@ -1,0 +1,189 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace dg::netlist {
+namespace {
+
+void set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<GateType> parse_gate_type(std::string t) {
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (t == "NOT" || t == "INV") return GateType::kNot;
+  if (t == "AND") return GateType::kAnd;
+  if (t == "OR") return GateType::kOr;
+  if (t == "NAND") return GateType::kNand;
+  if (t == "NOR") return GateType::kNor;
+  if (t == "XOR") return GateType::kXor;
+  if (t == "XNOR") return GateType::kXnor;
+  if (t == "BUF" || t == "BUFF") return GateType::kBuf;
+  return std::nullopt;
+}
+
+struct PendingGate {
+  std::string name;
+  GateType type;
+  std::vector<std::string> fanin_names;
+};
+
+}  // namespace
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream os;
+  for (int i : nl.inputs()) os << "INPUT(" << nl.gate(i).name << ")\n";
+  for (int o : nl.outputs()) os << "OUTPUT(" << nl.gate(o).name << ")\n";
+  for (const auto& g : nl.gates()) {
+    if (g.type == GateType::kInput) continue;
+    os << g.name << " = " << gate_type_name(g.type) << '(';
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) os << ", ";
+      os << nl.gate(g.fanins[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+bool write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_bench(nl);
+  return static_cast<bool>(out);
+}
+
+std::optional<Netlist> read_bench(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> input_names, output_names;
+  std::vector<PendingGate> pending;
+
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t lp = line.find('(');
+      const std::size_t rp = line.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+        set_error(error, "malformed line: " + line);
+        return std::nullopt;
+      }
+      const std::string head = trim(line.substr(0, lp));
+      const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (head == "INPUT") {
+        input_names.push_back(arg);
+      } else if (head == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        set_error(error, "unknown directive: " + head);
+        return std::nullopt;
+      }
+      continue;
+    }
+
+    PendingGate pg;
+    pg.name = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    const std::size_t lp = rhs.find('(');
+    const std::size_t rp = rhs.rfind(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+      set_error(error, "malformed gate: " + line);
+      return std::nullopt;
+    }
+    const auto type = parse_gate_type(trim(rhs.substr(0, lp)));
+    if (!type) {
+      set_error(error, "unknown gate type in: " + line);
+      return std::nullopt;
+    }
+    pg.type = *type;
+    std::string args = rhs.substr(lp + 1, rp - lp - 1);
+    std::istringstream argstream(args);
+    std::string tok;
+    while (std::getline(argstream, tok, ',')) {
+      tok = trim(tok);
+      if (!tok.empty()) pg.fanin_names.push_back(tok);
+    }
+    if (pg.fanin_names.empty()) {
+      set_error(error, "gate with no fanins: " + line);
+      return std::nullopt;
+    }
+    pending.push_back(std::move(pg));
+  }
+
+  // Two-pass resolution so definitions can appear in any order: repeatedly
+  // emit gates whose fanins are all defined. A stuck iteration means a cycle
+  // or an undefined signal.
+  Netlist nl;
+  std::unordered_map<std::string, int> id_of;
+  for (const auto& n : input_names) id_of[n] = nl.add_input(n);
+
+  std::vector<bool> emitted(pending.size(), false);
+  std::size_t remaining = pending.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (emitted[i]) continue;
+      const auto& pg = pending[i];
+      bool ready = true;
+      for (const auto& fn : pg.fanin_names)
+        if (id_of.find(fn) == id_of.end()) {
+          ready = false;
+          break;
+        }
+      if (!ready) continue;
+      std::vector<int> fanins;
+      fanins.reserve(pg.fanin_names.size());
+      for (const auto& fn : pg.fanin_names) fanins.push_back(id_of[fn]);
+      id_of[pg.name] = nl.add_gate(pg.type, std::move(fanins), pg.name);
+      emitted[i] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      set_error(error, "cyclic or undefined signal in netlist");
+      return std::nullopt;
+    }
+  }
+
+  for (const auto& n : output_names) {
+    auto it = id_of.find(n);
+    if (it == id_of.end()) {
+      set_error(error, "undefined output: " + n);
+      return std::nullopt;
+    }
+    nl.mark_output(it->second);
+  }
+  return nl;
+}
+
+std::optional<Netlist> read_bench_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_bench(buf.str(), error);
+}
+
+}  // namespace dg::netlist

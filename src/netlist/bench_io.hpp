@@ -1,0 +1,25 @@
+// ISCAS-style .bench format reader/writer, the textual netlist format used
+// by the benchmark suites the paper draws from (ITC'99, IWLS, ISCAS).
+//
+//   INPUT(a)
+//   OUTPUT(f)
+//   f = NAND(a, b)
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <optional>
+#include <string>
+
+namespace dg::netlist {
+
+std::string write_bench(const Netlist& nl);
+bool write_bench_file(const Netlist& nl, const std::string& path);
+
+/// Parse .bench text. Gate definitions may appear in any order (two-pass
+/// resolution); unknown gate types or undefined signals fail with a message
+/// in `error`.
+std::optional<Netlist> read_bench(const std::string& text, std::string* error = nullptr);
+std::optional<Netlist> read_bench_file(const std::string& path, std::string* error = nullptr);
+
+}  // namespace dg::netlist

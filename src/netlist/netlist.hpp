@@ -1,0 +1,70 @@
+// Generic gate-level netlist with the classic gate library (AND/OR/NAND/
+// NOR/XOR/XNOR/NOT/BUF, multi-input where sensible). This is the
+// "heterogeneous circuit" form the paper contrasts against AIGs in Table IV:
+// DeepGate can be trained directly on these graphs (7-d one-hot) or after
+// conversion to AIG (3-d one-hot).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dg::netlist {
+
+enum class GateType : std::uint8_t {
+  kInput = 0,
+  kNot = 1,
+  kAnd = 2,
+  kOr = 3,
+  kNand = 4,
+  kNor = 5,
+  kXor = 6,
+  kXnor = 7,
+  kBuf = 8,
+};
+
+const char* gate_type_name(GateType t);
+
+struct Gate {
+  GateType type = GateType::kInput;
+  std::vector<int> fanins;  // gate indices; empty for inputs
+  std::string name;
+};
+
+/// Gates are stored in topological order by construction: fanins must refer
+/// to already-created gates.
+class Netlist {
+ public:
+  int add_input(std::string name = "");
+  int add_gate(GateType type, std::vector<int> fanins, std::string name = "");
+  void mark_output(int gate);
+
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(int i) const { return gates_[static_cast<std::size_t>(i)]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<int>& inputs() const { return inputs_; }
+  const std::vector<int>& outputs() const { return outputs_; }
+
+  /// Logic level per gate (inputs 0).
+  std::vector<int> levels() const;
+  int depth() const;
+
+  /// Count of gates per GateType (indexed by the enum value).
+  std::vector<std::size_t> type_histogram() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+};
+
+/// Evaluate one gate over bit-parallel 64-bit words.
+std::uint64_t eval_gate_words(GateType type, const std::vector<std::uint64_t>& fanin_words);
+
+/// Decompose every multi-input gate into a tree of 2-input gates of the same
+/// base function (NAND4 -> AND2 tree + NAND2 root, etc.), preserving gate
+/// types and function. This models a technology-mapped 2-input-library
+/// netlist — the form the paper's "w/o transformation" circuits take.
+Netlist decompose_to_2input(const Netlist& src);
+
+}  // namespace dg::netlist

@@ -1,0 +1,71 @@
+#include "netlist/to_aig.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace dg::netlist {
+namespace {
+
+aig::Lit xor_tree(aig::Aig& a, std::vector<aig::Lit> lits) {
+  assert(!lits.empty());
+  while (lits.size() > 1) {
+    std::vector<aig::Lit> next;
+    next.reserve((lits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2)
+      next.push_back(a.make_xor(lits[i], lits[i + 1]));
+    if (lits.size() % 2 == 1) next.push_back(lits.back());
+    lits = std::move(next);
+  }
+  return lits[0];
+}
+
+}  // namespace
+
+aig::Aig to_aig(const Netlist& nl) {
+  aig::Aig a;
+  std::vector<aig::Lit> lit_of(nl.size(), aig::kLitFalse);
+
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Gate& g = nl.gate(static_cast<int>(i));
+    std::vector<aig::Lit> fan;
+    fan.reserve(g.fanins.size());
+    for (int f : g.fanins) fan.push_back(lit_of[static_cast<std::size_t>(f)]);
+
+    switch (g.type) {
+      case GateType::kInput:
+        lit_of[i] = aig::make_lit(a.add_input(g.name), false);
+        break;
+      case GateType::kBuf:
+        lit_of[i] = fan[0];
+        break;
+      case GateType::kNot:
+        lit_of[i] = aig::lit_not(fan[0]);
+        break;
+      case GateType::kAnd:
+        lit_of[i] = a.make_and_n(fan);
+        break;
+      case GateType::kNand:
+        lit_of[i] = aig::lit_not(a.make_and_n(fan));
+        break;
+      case GateType::kOr:
+        lit_of[i] = a.make_or_n(fan);
+        break;
+      case GateType::kNor:
+        lit_of[i] = aig::lit_not(a.make_or_n(fan));
+        break;
+      case GateType::kXor:
+        lit_of[i] = xor_tree(a, fan);
+        break;
+      case GateType::kXnor:
+        lit_of[i] = aig::lit_not(xor_tree(a, fan));
+        break;
+    }
+  }
+
+  for (int o : nl.outputs()) {
+    a.add_output(lit_of[static_cast<std::size_t>(o)], nl.gate(o).name);
+  }
+  return a;
+}
+
+}  // namespace dg::netlist

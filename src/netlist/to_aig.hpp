@@ -1,0 +1,15 @@
+// Netlist -> AIG decomposition: the "Mapping to AIG" step of Fig. 2(a).
+// Multi-input gates are decomposed into balanced 2-input AND trees (with De
+// Morgan inversions for OR/NOR/NAND and Shannon-style pairing for XOR), then
+// structurally hashed by the Aig builder.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dg::netlist {
+
+/// Functionally equivalent AIG; input/output order and names are preserved.
+aig::Aig to_aig(const Netlist& nl);
+
+}  // namespace dg::netlist

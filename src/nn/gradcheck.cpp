@@ -1,0 +1,45 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+namespace dg::nn {
+
+GradCheckResult gradcheck(const std::function<Tensor()>& fn, const std::vector<Tensor>& leaves,
+                          float eps, float tol) {
+  // Analytic pass.
+  for (auto leaf : leaves) leaf.zero_grad();
+  Tensor loss = fn();
+  loss.backward();
+  std::vector<Matrix> analytic;
+  analytic.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    analytic.push_back(leaf.has_grad() ? leaf.grad()
+                                       : Matrix::zeros(leaf.rows(), leaf.cols()));
+  }
+
+  GradCheckResult result;
+  result.ok = true;
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    Tensor leaf = leaves[li];
+    Matrix& w = leaf.mutable_value();
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      const float saved = w.data()[k];
+      w.data()[k] = saved + eps;
+      const float f_plus = fn().item();
+      w.data()[k] = saved - eps;
+      const float f_minus = fn().item();
+      w.data()[k] = saved;
+
+      const float numeric = (f_plus - f_minus) / (2.0F * eps);
+      const float a = analytic[li].data()[k];
+      const float abs_err = std::abs(a - numeric);
+      const float rel_err = abs_err / std::max(1e-2F, std::abs(a) + std::abs(numeric));
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      if (rel_err > tol && abs_err > 1e-3F) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace dg::nn

@@ -1,0 +1,26 @@
+// Finite-difference gradient verification used by the property tests: every
+// op and module in the library is checked against central differences.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace dg::nn {
+
+struct GradCheckResult {
+  float max_abs_err = 0.0F;
+  float max_rel_err = 0.0F;
+  bool ok = false;
+};
+
+/// Compare analytic gradients of `fn` (which must rebuild its tape on each
+/// call and return a scalar tensor) against central differences w.r.t. every
+/// element of every tensor in `leaves`. float32 arithmetic bounds precision,
+/// so the default tolerances are deliberately loose but still catch wrong
+/// adjoints (which are off by O(1), not O(1e-2)).
+GradCheckResult gradcheck(const std::function<Tensor()>& fn, const std::vector<Tensor>& leaves,
+                          float eps = 5e-3F, float tol = 5e-2F);
+
+}  // namespace dg::nn

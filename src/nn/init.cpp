@@ -1,0 +1,29 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace dg::nn {
+
+Matrix xavier_uniform(int rows, int cols, util::Rng& rng) {
+  const float a = std::sqrt(6.0F / static_cast<float>(rows + cols));
+  return uniform(rows, cols, -a, a, rng);
+}
+
+Matrix kaiming_normal(int rows, int cols, util::Rng& rng) {
+  const float stddev = std::sqrt(2.0F / static_cast<float>(rows));
+  return normal(rows, cols, stddev, rng);
+}
+
+Matrix normal(int rows, int cols, float stddev, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = stddev * rng.next_normal();
+  return m;
+}
+
+Matrix uniform(int rows, int cols, float lo, float hi, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = lo + (hi - lo) * rng.next_float();
+  return m;
+}
+
+}  // namespace dg::nn

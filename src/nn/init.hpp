@@ -1,0 +1,21 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace dg::nn {
+
+/// Glorot/Xavier uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+Matrix xavier_uniform(int rows, int cols, util::Rng& rng);
+
+/// Kaiming/He normal for ReLU fan-in: N(0, sqrt(2 / fan_in)).
+Matrix kaiming_normal(int rows, int cols, util::Rng& rng);
+
+/// N(0, stddev).
+Matrix normal(int rows, int cols, float stddev, util::Rng& rng);
+
+/// U(lo, hi).
+Matrix uniform(int rows, int cols, float lo, float hi, util::Rng& rng);
+
+}  // namespace dg::nn

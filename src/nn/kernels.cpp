@@ -1,0 +1,246 @@
+#include "nn/kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dg::nn::kern {
+
+// i-k-j loop order: the inner loop walks both B and C contiguously, which is
+// the cache-friendly ordering for row-major storage and lets the compiler
+// vectorize the j loop.
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row_ptr(i);
+    float* crow = c.row_ptr(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0F) continue;
+      const float* brow = b.row_ptr(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void matmul_acc(Matrix& c, const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row_ptr(i);
+    float* crow = c.row_ptr(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0F) continue;
+      const float* brow = b.row_ptr(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row_ptr(p);
+    const float* brow = b.row_ptr(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = c.row_ptr(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row_ptr(i);
+    float* crow = c.row_ptr(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row_ptr(j);
+      float acc = 0.0F;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+  return c;
+}
+
+Matrix mul(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+Matrix scale(const Matrix& a, float s) {
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * s;
+  return c;
+}
+
+Matrix add_rowvec(const Matrix& a, const Matrix& b) {
+  assert(b.rows() == 1 && b.cols() == a.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row_ptr(r);
+    const float* brow = b.row_ptr(0);
+    float* crow = c.row_ptr(r);
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + brow[j];
+  }
+  return c;
+}
+
+Matrix scale_rows(const Matrix& a, const Matrix& s) {
+  assert(s.rows() == a.rows() && s.cols() == 1);
+  Matrix c(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float f = s.at(r, 0);
+    const float* arow = a.row_ptr(r);
+    float* crow = c.row_ptr(r);
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * f;
+  }
+  return c;
+}
+
+void acc(Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+void axpy(Matrix& a, float alpha, const Matrix& b) {
+  assert(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += alpha * b.data()[i];
+}
+
+Matrix sigmoid(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    c.data()[i] = 1.0F / (1.0F + std::exp(-a.data()[i]));
+  return c;
+}
+
+Matrix tanh_m(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = std::tanh(a.data()[i]);
+  return c;
+}
+
+Matrix relu(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    c.data()[i] = a.data()[i] > 0.0F ? a.data()[i] : 0.0F;
+  return c;
+}
+
+Matrix row_sum(const Matrix& a) {
+  Matrix c(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row_ptr(r);
+    float acc_v = 0.0F;
+    for (int j = 0; j < a.cols(); ++j) acc_v += arow[j];
+    c.at(r, 0) = acc_v;
+  }
+  return c;
+}
+
+Matrix col_sum(const Matrix& a) {
+  Matrix c(1, a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row_ptr(r);
+    float* crow = c.row_ptr(0);
+    for (int j = 0; j < a.cols(); ++j) crow[j] += arow[j];
+  }
+  return c;
+}
+
+float sum_all(const Matrix& a) {
+  float acc_v = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) acc_v += a.data()[i];
+  return acc_v;
+}
+
+Matrix concat_cols(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    float* crow = c.row_ptr(r);
+    const float* arow = a.row_ptr(r);
+    const float* brow = b.row_ptr(r);
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j];
+    for (int j = 0; j < b.cols(); ++j) crow[a.cols() + j] = brow[j];
+  }
+  return c;
+}
+
+Matrix slice_cols(const Matrix& a, int c0, int c1) {
+  assert(0 <= c0 && c0 <= c1 && c1 <= a.cols());
+  Matrix c(a.rows(), c1 - c0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row_ptr(r);
+    float* crow = c.row_ptr(r);
+    for (int j = c0; j < c1; ++j) crow[j - c0] = arow[j];
+  }
+  return c;
+}
+
+Matrix gather_rows(const Matrix& a, const std::vector<int>& idx) {
+  Matrix c(static_cast<int>(idx.size()), a.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    assert(idx[i] >= 0 && idx[i] < a.rows());
+    const float* arow = a.row_ptr(idx[i]);
+    float* crow = c.row_ptr(static_cast<int>(i));
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j];
+  }
+  return c;
+}
+
+Matrix scatter_add_rows(const Matrix& src, const std::vector<int>& idx, int out_rows) {
+  assert(src.rows() == static_cast<int>(idx.size()));
+  Matrix c(out_rows, src.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    assert(idx[i] >= 0 && idx[i] < out_rows);
+    const float* srow = src.row_ptr(static_cast<int>(i));
+    float* crow = c.row_ptr(idx[i]);
+    for (int j = 0; j < src.cols(); ++j) crow[j] += srow[j];
+  }
+  return c;
+}
+
+Matrix row_dot(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix c(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row_ptr(r);
+    const float* brow = b.row_ptr(r);
+    float acc_v = 0.0F;
+    for (int j = 0; j < a.cols(); ++j) acc_v += arow[j] * brow[j];
+    c.at(r, 0) = acc_v;
+  }
+  return c;
+}
+
+}  // namespace dg::nn::kern

@@ -1,0 +1,59 @@
+// Eager numeric kernels on Matrix. These are the building blocks the autograd
+// ops call in both forward and backward passes; they carry no tape state.
+//
+// Naming: `_tn` / `_nt` suffixes mean the first / second operand is used
+// transposed, which covers every matmul the backward passes need without
+// materializing transposes.
+#pragma once
+
+#include "nn/matrix.hpp"
+
+#include <vector>
+
+namespace dg::nn::kern {
+
+/// C = A(BxK) * B(KxN).
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B  (A: KxM used as MxK).
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+/// C += A * B (accumulating variant for gradient fan-in).
+void matmul_acc(Matrix& c, const Matrix& a, const Matrix& b);
+
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix mul(const Matrix& a, const Matrix& b);
+Matrix scale(const Matrix& a, float s);
+/// A (NxC) + row vector b (1xC) broadcast over rows.
+Matrix add_rowvec(const Matrix& a, const Matrix& b);
+/// out[r] = a[r] * s[r][0] — per-row scaling by a column vector (Nx1).
+Matrix scale_rows(const Matrix& a, const Matrix& s);
+
+/// In-place accumulate: a += b (shapes must match).
+void acc(Matrix& a, const Matrix& b);
+/// In-place axpy: a += alpha * b.
+void axpy(Matrix& a, float alpha, const Matrix& b);
+
+Matrix sigmoid(const Matrix& a);
+Matrix tanh_m(const Matrix& a);
+Matrix relu(const Matrix& a);
+
+/// Column vector (Nx1) with the sum of each row.
+Matrix row_sum(const Matrix& a);
+/// Row vector (1xC) with the sum of each column.
+Matrix col_sum(const Matrix& a);
+float sum_all(const Matrix& a);
+
+Matrix concat_cols(const Matrix& a, const Matrix& b);
+Matrix slice_cols(const Matrix& a, int c0, int c1);
+
+/// out[i] = a[idx[i]]; idx values must be valid rows of a.
+Matrix gather_rows(const Matrix& a, const std::vector<int>& idx);
+/// out (out_rows x C), out[idx[i]] += src[i].
+Matrix scatter_add_rows(const Matrix& src, const std::vector<int>& idx, int out_rows);
+
+/// Per-row dot products of equally-shaped matrices -> Nx1.
+Matrix row_dot(const Matrix& a, const Matrix& b);
+
+}  // namespace dg::nn::kern

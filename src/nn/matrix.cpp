@@ -1,0 +1,16 @@
+#include "nn/matrix.hpp"
+
+#include <utility>
+
+namespace dg::nn {
+
+Matrix Matrix::from_vector(int rows, int cols, std::vector<float> values) {
+  assert(values.size() == static_cast<std::size_t>(rows) * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(values);
+  return m;
+}
+
+}  // namespace dg::nn

@@ -1,0 +1,61 @@
+// Dense row-major float matrix — the storage type underneath the autograd
+// tensor library. Deliberately minimal: shape + contiguous buffer + bounds
+// assertions. All math lives in kernels.hpp so the hot loops stay in one
+// translation unit.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace dg::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, float fill = 0.0F)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols, 0.0F); }
+  static Matrix full(int rows, int cols, float v) { return Matrix(rows, cols, v); }
+  static Matrix from_vector(int rows, int cols, std::vector<float> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  float& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  float* row_ptr(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const float* row_ptr(int r) const { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reset to rows x cols of zeros (reusing storage where possible).
+  void resize_zero(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * cols, 0.0F);
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dg::nn

@@ -1,0 +1,34 @@
+#include "nn/mlp.hpp"
+
+#include <cassert>
+
+namespace dg::nn {
+
+Mlp::Mlp(const std::vector<int>& dims, OutputActivation out_act, util::Rng& rng)
+    : out_act_(out_act) {
+  assert(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h);
+    if (i + 1 < layers_.size()) h = relu(h);
+  }
+  switch (out_act_) {
+    case OutputActivation::kNone: break;
+    case OutputActivation::kSigmoid: h = sigmoid(h); break;
+    case OutputActivation::kRelu: h = relu(h); break;
+  }
+  return h;
+}
+
+void Mlp::collect(NamedParams& out, const std::string& prefix) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i].collect(out, prefix + ".l" + std::to_string(i));
+}
+
+}  // namespace dg::nn

@@ -1,0 +1,31 @@
+// Module protocol: anything that owns parameters exposes them as named
+// tensors so optimizers and the serializer can walk a whole model uniformly.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dg::nn {
+
+/// (hierarchical-name, parameter) pairs, e.g. "fwd.gru.wz".
+using NamedParams = std::vector<std::pair<std::string, Tensor>>;
+
+/// Flatten a NamedParams into just the tensors (for optimizers).
+inline std::vector<Tensor> param_tensors(const NamedParams& named) {
+  std::vector<Tensor> out;
+  out.reserve(named.size());
+  for (const auto& [name, t] : named) out.push_back(t);
+  return out;
+}
+
+/// Total number of scalar parameters.
+inline std::size_t param_count(const NamedParams& named) {
+  std::size_t n = 0;
+  for (const auto& [name, t] : named) n += t.value().size();
+  return n;
+}
+
+}  // namespace dg::nn

@@ -1,0 +1,278 @@
+#include "nn/ops.hpp"
+
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace dg::nn {
+namespace {
+
+// Accumulate `d` into parent i of `self` if that parent participates in AD.
+void accum_parent(TapeNode& self, std::size_t i, const Matrix& d) {
+  auto& p = self.parents[i];
+  if (p->requires_grad) p->accum_grad(d);
+}
+
+}  // namespace
+
+Tensor constant(Matrix m) { return Tensor::leaf(std::move(m), false); }
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Matrix out = kern::matmul(a.value(), b.value());
+  return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
+    const Matrix& g = self.grad;
+    accum_parent(self, 0, kern::matmul_nt(g, self.parents[1]->value));
+    accum_parent(self, 1, kern::matmul_tn(self.parents[0]->value, g));
+  });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Matrix out = kern::add(a.value(), b.value());
+  return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
+    accum_parent(self, 0, self.grad);
+    accum_parent(self, 1, self.grad);
+  });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Matrix out = kern::sub(a.value(), b.value());
+  return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
+    accum_parent(self, 0, self.grad);
+    accum_parent(self, 1, kern::scale(self.grad, -1.0F));
+  });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Matrix out = kern::mul(a.value(), b.value());
+  return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
+    accum_parent(self, 0, kern::mul(self.grad, self.parents[1]->value));
+    accum_parent(self, 1, kern::mul(self.grad, self.parents[0]->value));
+  });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Matrix out = kern::scale(a.value(), s);
+  return Tensor::make(std::move(out), {a}, [s](TapeNode& self) {
+    accum_parent(self, 0, kern::scale(self.grad, s));
+  });
+}
+
+Tensor add_rowvec(const Tensor& a, const Tensor& b) {
+  Matrix out = kern::add_rowvec(a.value(), b.value());
+  return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
+    accum_parent(self, 0, self.grad);
+    accum_parent(self, 1, kern::col_sum(self.grad));
+  });
+}
+
+Tensor scale_rows(const Tensor& a, const Tensor& s) {
+  Matrix out = kern::scale_rows(a.value(), s.value());
+  return Tensor::make(std::move(out), {a, s}, [](TapeNode& self) {
+    accum_parent(self, 0, kern::scale_rows(self.grad, self.parents[1]->value));
+    accum_parent(self, 1, kern::row_dot(self.grad, self.parents[0]->value));
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Matrix out = kern::sigmoid(a.value());
+  return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
+    // dy/dx = y (1 - y), read from this node's own value.
+    const Matrix& y = self.value;
+    Matrix d(y.rows(), y.cols());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const float yv = y.data()[i];
+      d.data()[i] = self.grad.data()[i] * yv * (1.0F - yv);
+    }
+    accum_parent(self, 0, d);
+  });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  Matrix out = kern::tanh_m(a.value());
+  return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
+    const Matrix& y = self.value;
+    Matrix d(y.rows(), y.cols());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const float yv = y.data()[i];
+      d.data()[i] = self.grad.data()[i] * (1.0F - yv * yv);
+    }
+    accum_parent(self, 0, d);
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  Matrix out = kern::relu(a.value());
+  return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
+    const Matrix& x = self.parents[0]->value;
+    Matrix d(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      d.data()[i] = x.data()[i] > 0.0F ? self.grad.data()[i] : 0.0F;
+    accum_parent(self, 0, d);
+  });
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  Matrix out = kern::concat_cols(a.value(), b.value());
+  const int ca = a.cols();
+  return Tensor::make(std::move(out), {a, b}, [ca](TapeNode& self) {
+    accum_parent(self, 0, kern::slice_cols(self.grad, 0, ca));
+    accum_parent(self, 1, kern::slice_cols(self.grad, ca, self.grad.cols()));
+  });
+}
+
+Tensor slice_cols(const Tensor& a, int c0, int c1) {
+  Matrix out = kern::slice_cols(a.value(), c0, c1);
+  const int cols = a.cols();
+  return Tensor::make(std::move(out), {a}, [c0, c1, cols](TapeNode& self) {
+    Matrix d(self.grad.rows(), cols);
+    for (int r = 0; r < d.rows(); ++r)
+      for (int j = c0; j < c1; ++j) d.at(r, j) = self.grad.at(r, j - c0);
+    accum_parent(self, 0, d);
+  });
+}
+
+Tensor gather_rows(const Tensor& a, std::vector<int> idx) {
+  Matrix out = kern::gather_rows(a.value(), idx);
+  const int src_rows = a.rows();
+  return Tensor::make(std::move(out), {a},
+                      [idx = std::move(idx), src_rows](TapeNode& self) {
+                        accum_parent(self, 0,
+                                     kern::scatter_add_rows(self.grad, idx, src_rows));
+                      });
+}
+
+Tensor scatter_add_rows(const Tensor& src, std::vector<int> idx, int out_rows) {
+  Matrix out = kern::scatter_add_rows(src.value(), idx, out_rows);
+  return Tensor::make(std::move(out), {src}, [idx = std::move(idx)](TapeNode& self) {
+    accum_parent(self, 0, kern::gather_rows(self.grad, idx));
+  });
+}
+
+Tensor softmax_segments(const Tensor& scores, std::vector<int> segment, int num_segments) {
+  const Matrix& s = scores.value();
+  assert(s.cols() == 1 && s.rows() == static_cast<int>(segment.size()));
+  // Numerically stable per-segment softmax.
+  std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (int i = 0; i < s.rows(); ++i)
+    seg_max[segment[i]] = std::max(seg_max[segment[i]], s.at(i, 0));
+  Matrix out(s.rows(), 1);
+  std::vector<float> seg_sum(static_cast<std::size_t>(num_segments), 0.0F);
+  for (int i = 0; i < s.rows(); ++i) {
+    const float e = std::exp(s.at(i, 0) - seg_max[segment[i]]);
+    out.at(i, 0) = e;
+    seg_sum[segment[i]] += e;
+  }
+  for (int i = 0; i < s.rows(); ++i) out.at(i, 0) /= seg_sum[segment[i]];
+
+  return Tensor::make(
+      std::move(out), {scores},
+      [segment = std::move(segment), num_segments](TapeNode& self) {
+        // d s_i = alpha_i * (g_i - sum_{j in seg(i)} alpha_j g_j)
+        const Matrix& alpha = self.value;
+        const Matrix& g = self.grad;
+        std::vector<float> seg_dot(static_cast<std::size_t>(num_segments), 0.0F);
+        for (int i = 0; i < alpha.rows(); ++i)
+          seg_dot[segment[i]] += alpha.at(i, 0) * g.at(i, 0);
+        Matrix d(alpha.rows(), 1);
+        for (int i = 0; i < alpha.rows(); ++i)
+          d.at(i, 0) = alpha.at(i, 0) * (g.at(i, 0) - seg_dot[segment[i]]);
+        accum_parent(self, 0, d);
+      });
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  assert(!parts.empty());
+  const int cols = parts[0].cols();
+  int rows = 0;
+  for (const auto& p : parts) {
+    assert(p.cols() == cols);
+    rows += p.rows();
+  }
+  Matrix out(rows, cols);
+  int r = 0;
+  for (const auto& p : parts) {
+    const Matrix& m = p.value();
+    for (int i = 0; i < m.rows(); ++i, ++r)
+      for (int j = 0; j < cols; ++j) out.at(r, j) = m.at(i, j);
+  }
+  std::vector<int> part_rows;
+  part_rows.reserve(parts.size());
+  for (const auto& p : parts) part_rows.push_back(p.rows());
+  return Tensor::make(std::move(out), parts, [part_rows](TapeNode& self) {
+    int r0 = 0;
+    for (std::size_t k = 0; k < part_rows.size(); ++k) {
+      Matrix d(part_rows[k], self.grad.cols());
+      for (int i = 0; i < part_rows[k]; ++i)
+        for (int j = 0; j < self.grad.cols(); ++j) d.at(i, j) = self.grad.at(r0 + i, j);
+      accum_parent(self, k, d);
+      r0 += part_rows[k];
+    }
+  });
+}
+
+Tensor sum_all(const Tensor& a) {
+  Matrix out(1, 1);
+  out.at(0, 0) = kern::sum_all(a.value());
+  return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
+    const Matrix& x = self.parents[0]->value;
+    accum_parent(self, 0, Matrix::full(x.rows(), x.cols(), self.grad.at(0, 0)));
+  });
+}
+
+Tensor mean_all(const Tensor& a) {
+  const float n = static_cast<float>(a.value().size());
+  Matrix out(1, 1);
+  out.at(0, 0) = kern::sum_all(a.value()) / n;
+  return Tensor::make(std::move(out), {a}, [n](TapeNode& self) {
+    const Matrix& x = self.parents[0]->value;
+    accum_parent(self, 0, Matrix::full(x.rows(), x.cols(), self.grad.at(0, 0) / n));
+  });
+}
+
+Tensor l1_loss(const Tensor& pred, const Matrix& target) {
+  const Matrix& p = pred.value();
+  assert(p.same_shape(target));
+  const float n = static_cast<float>(p.size());
+  Matrix out(1, 1);
+  float acc_v = 0.0F;
+  for (std::size_t i = 0; i < p.size(); ++i) acc_v += std::abs(p.data()[i] - target.data()[i]);
+  out.at(0, 0) = acc_v / n;
+  return Tensor::make(std::move(out), {pred}, [target, n](TapeNode& self) {
+    const Matrix& p2 = self.parents[0]->value;
+    Matrix d(p2.rows(), p2.cols());
+    const float g = self.grad.at(0, 0) / n;
+    for (std::size_t i = 0; i < p2.size(); ++i) {
+      const float diff = p2.data()[i] - target.data()[i];
+      d.data()[i] = diff > 0.0F ? g : (diff < 0.0F ? -g : 0.0F);
+    }
+    accum_parent(self, 0, d);
+  });
+}
+
+Tensor mse_loss(const Tensor& pred, const Matrix& target) {
+  const Matrix& p = pred.value();
+  assert(p.same_shape(target));
+  const float n = static_cast<float>(p.size());
+  Matrix out(1, 1);
+  float acc_v = 0.0F;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float diff = p.data()[i] - target.data()[i];
+    acc_v += diff * diff;
+  }
+  out.at(0, 0) = acc_v / n;
+  return Tensor::make(std::move(out), {pred}, [target, n](TapeNode& self) {
+    const Matrix& p2 = self.parents[0]->value;
+    Matrix d(p2.rows(), p2.cols());
+    const float g = self.grad.at(0, 0) * 2.0F / n;
+    for (std::size_t i = 0; i < p2.size(); ++i)
+      d.data()[i] = g * (p2.data()[i] - target.data()[i]);
+    accum_parent(self, 0, d);
+  });
+}
+
+}  // namespace dg::nn

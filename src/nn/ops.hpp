@@ -1,0 +1,57 @@
+// Differentiable operations on Tensor. Each op computes its value eagerly via
+// kernels and, when gradients are enabled, records a closure that implements
+// the exact adjoint. The set is the minimal closure of operations needed by
+// the DeepGate model family: batched affine maps, GRU gates, additive
+// attention with per-destination (segment) softmax, gather/scatter for
+// topological batching, and L1/MSE losses.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+#include <vector>
+
+namespace dg::nn {
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);          // elementwise
+Tensor scale(const Tensor& a, float s);
+Tensor add_rowvec(const Tensor& a, const Tensor& b);   // b: 1xC bias broadcast
+Tensor scale_rows(const Tensor& a, const Tensor& s);   // s: Nx1 per-row factor
+
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor relu(const Tensor& a);
+
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+Tensor slice_cols(const Tensor& a, int c0, int c1);
+
+/// out[i] = a[idx[i]] — row gather (source rows may repeat).
+Tensor gather_rows(const Tensor& a, std::vector<int> idx);
+/// out has `out_rows` rows; out[idx[i]] += src[i].
+Tensor scatter_add_rows(const Tensor& src, std::vector<int> idx, int out_rows);
+
+/// Per-segment softmax over a column of scores (Ex1). `segment[i]` names the
+/// destination group of edge i; groups need not be contiguous. This is the
+/// attention normalization of Eq. (5): softmax over the predecessors of each
+/// node, batched over all nodes of a level.
+Tensor softmax_segments(const Tensor& scores, std::vector<int> segment, int num_segments);
+
+/// Stack parts vertically (all must share a column count). The workhorse of
+/// per-level state storage: gathers from several level tensors are stitched
+/// into one edge-ordered batch.
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+Tensor sum_all(const Tensor& a);   // -> 1x1
+Tensor mean_all(const Tensor& a);  // -> 1x1
+
+/// Mean absolute error vs a constant target (the paper's training loss).
+Tensor l1_loss(const Tensor& pred, const Matrix& target);
+/// Mean squared error vs a constant target.
+Tensor mse_loss(const Tensor& pred, const Matrix& target);
+
+/// Constant (non-differentiable) tensor from a matrix.
+Tensor constant(Matrix m);
+
+}  // namespace dg::nn

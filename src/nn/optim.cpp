@@ -1,0 +1,95 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace dg::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+void Optimizer::clip_grad_norm(float max_norm) {
+  if (max_norm <= 0.0F) return;
+  double total_sq = 0.0;
+  for (const auto& p : params_) {
+    if (!p.has_grad()) continue;
+    const Matrix& g = p.grad();
+    for (std::size_t i = 0; i < g.size(); ++i)
+      total_sq += static_cast<double>(g.data()[i]) * g.data()[i];
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm <= max_norm) return;
+  const float factor = static_cast<float>(max_norm / (norm + 1e-12));
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    Matrix& g = p.node()->grad;
+    for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= factor;
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    Matrix& w = p.mutable_value();
+    const Matrix& g = p.grad();
+    if (momentum_ > 0.0F) {
+      Matrix& vel = velocity_[i];
+      if (vel.empty()) vel = Matrix::zeros(w.rows(), w.cols());
+      for (std::size_t k = 0; k < w.size(); ++k) {
+        vel.data()[k] = momentum_ * vel.data()[k] + g.data()[k];
+        w.data()[k] -= lr_ * vel.data()[k];
+      }
+    } else {
+      for (std::size_t k = 0; k < w.size(); ++k) w.data()[k] -= lr_ * g.data()[k];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    Matrix& w = p.mutable_value();
+    const Matrix& g = p.grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    if (m.empty()) {
+      m = Matrix::zeros(w.rows(), w.cols());
+      v = Matrix::zeros(w.rows(), w.cols());
+    }
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      float gk = g.data()[k];
+      if (weight_decay_ > 0.0F) gk += weight_decay_ * w.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0F - beta1_) * gk;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0F - beta2_) * gk * gk;
+      const float mhat = m.data()[k] / bc1;
+      const float vhat = v.data()[k] / bc2;
+      w.data()[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace dg::nn

@@ -1,0 +1,52 @@
+// First-order optimizers operating on leaf parameter tensors in place.
+// The paper trains every model with ADAM at lr = 1e-4 (Sec. IV-B).
+#pragma once
+
+#include "nn/tensor.hpp"
+
+#include <vector>
+
+namespace dg::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using the gradients currently on the parameters.
+  virtual void step() = 0;
+
+  /// Clear gradients on all parameters.
+  void zero_grad();
+
+  /// Global-norm gradient clipping; no-op if max_norm <= 0.
+  void clip_grad_norm(float max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0F);
+  void step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr = 1e-4F, float beta1 = 0.9F,
+       float beta2 = 0.999F, float eps = 1e-8F, float weight_decay = 0.0F);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long step_count_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+}  // namespace dg::nn

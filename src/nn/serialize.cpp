@@ -1,0 +1,87 @@
+#include "nn/serialize.hpp"
+
+#include "util/log.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+namespace dg::nn {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'G', 'T', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool save_params(const std::string& path, const NamedParams& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto& [name, t] : params) {
+    write_pod(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Matrix& m = t.value();
+    write_pod(out, static_cast<std::int32_t>(m.rows()));
+    write_pod(out, static_cast<std::int32_t>(m.cols()));
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_params(const std::string& path, NamedParams& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) return false;
+  std::uint32_t version = 0, count = 0;
+  if (!read_pod(in, version) || version != kVersion) return false;
+  if (!read_pod(in, count)) return false;
+
+  std::unordered_map<std::string, Matrix> loaded;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    if (!read_pod(in, name_len) || name_len > (1U << 20)) return false;
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    std::int32_t rows = 0, cols = 0;
+    if (!read_pod(in, rows) || !read_pod(in, cols)) return false;
+    if (rows < 0 || cols < 0) return false;
+    Matrix m(rows, cols);
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!in) return false;
+    loaded.emplace(std::move(name), std::move(m));
+  }
+
+  for (auto& [name, t] : params) {
+    auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      util::log_warn("checkpoint missing parameter '", name, "'");
+      return false;
+    }
+    if (!it->second.same_shape(t.value())) {
+      util::log_warn("checkpoint shape mismatch for '", name, "'");
+      return false;
+    }
+    t.mutable_value() = it->second;
+  }
+  return true;
+}
+
+}  // namespace dg::nn

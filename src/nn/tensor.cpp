@@ -1,0 +1,99 @@
+#include "nn/tensor.hpp"
+
+#include "nn/kernels.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dg::nn {
+namespace {
+bool g_grad_enabled = true;
+}  // namespace
+
+void TapeNode::accum_grad(const Matrix& d) {
+  assert(d.rows() == value.rows() && d.cols() == value.cols());
+  if (!has_grad) {
+    grad = d;
+    has_grad = true;
+  } else {
+    kern::acc(grad, d);
+  }
+}
+
+Tensor Tensor::leaf(Matrix value, bool requires_grad) {
+  auto node = std::make_shared<TapeNode>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::make(Matrix value, std::vector<Tensor> parents,
+                    std::function<void(TapeNode&)> backward_fn) {
+  auto node = std::make_shared<TapeNode>();
+  node->value = std::move(value);
+  if (grad_enabled()) {
+    bool any = false;
+    for (const auto& p : parents) any = any || p.requires_grad();
+    if (any) {
+      node->requires_grad = true;
+      node->parents.reserve(parents.size());
+      for (auto& p : parents) node->parents.push_back(p.node());
+      node->backward_fn = std::move(backward_fn);
+    }
+  }
+  return Tensor(std::move(node));
+}
+
+float Tensor::item() const {
+  assert(defined() && node_->value.rows() == 1 && node_->value.cols() == 1);
+  return node_->value.at(0, 0);
+}
+
+void Tensor::backward() const {
+  if (!defined()) throw std::logic_error("backward() on undefined tensor");
+  if (node_->value.rows() != 1 || node_->value.cols() != 1)
+    throw std::logic_error("backward() requires a scalar (1x1) tensor");
+  if (!node_->requires_grad) return;
+
+  // Iterative post-order DFS to produce a topological order (parents before
+  // children in `order`); we then run backward closures from the root down.
+  std::vector<TapeNode*> order;
+  std::unordered_set<TapeNode*> visited;
+  struct Frame {
+    TapeNode* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TapeNode* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->accum_grad(Matrix::full(1, 1, 1.0F));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TapeNode* n = *it;
+    if (n->backward_fn && n->has_grad) n->backward_fn(*n);
+  }
+}
+
+void Tensor::zero_grad() {
+  if (!defined()) return;
+  node_->grad = Matrix();
+  node_->has_grad = false;
+}
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+}  // namespace dg::nn

@@ -1,0 +1,62 @@
+#include "sim/bitsim.hpp"
+
+#include <cassert>
+
+namespace dg::sim {
+
+std::vector<std::uint64_t> simulate_aig(const aig::Aig& aig,
+                                        const std::vector<std::uint64_t>& pi_words) {
+  using namespace dg::aig;
+  assert(pi_words.size() == aig.num_inputs());
+  std::vector<std::uint64_t> words(aig.num_vars(), 0);
+  for (std::size_t i = 0; i < aig.num_inputs(); ++i) words[aig.inputs()[i]] = pi_words[i];
+  for (Var v = 0; v < aig.num_vars(); ++v) {
+    if (!aig.is_and(v)) continue;
+    words[v] = lit_word(words, aig.fanin0(v)) & lit_word(words, aig.fanin1(v));
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> simulate_gate_graph(const aig::GateGraph& g,
+                                               const std::vector<std::uint64_t>& pi_words) {
+  using aig::GateKind;
+  std::vector<std::uint64_t> words(g.size(), 0);
+  std::size_t pi_idx = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    switch (g.kind[v]) {
+      case GateKind::kPi:
+        assert(pi_idx < pi_words.size());
+        words[v] = pi_words[pi_idx++];
+        break;
+      case GateKind::kAnd:
+        words[v] = words[static_cast<std::size_t>(g.fanin[v][0])] &
+                   words[static_cast<std::size_t>(g.fanin[v][1])];
+        break;
+      case GateKind::kNot:
+        words[v] = ~words[static_cast<std::size_t>(g.fanin[v][0])];
+        break;
+    }
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> simulate_netlist(const netlist::Netlist& nl,
+                                            const std::vector<std::uint64_t>& pi_words) {
+  assert(pi_words.size() == nl.inputs().size());
+  std::vector<std::uint64_t> words(nl.size(), 0);
+  std::size_t pi_idx = 0;
+  std::vector<std::uint64_t> fanin_words;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const auto& gate = nl.gate(static_cast<int>(i));
+    if (gate.type == netlist::GateType::kInput) {
+      words[i] = pi_words[pi_idx++];
+      continue;
+    }
+    fanin_words.clear();
+    for (int f : gate.fanins) fanin_words.push_back(words[static_cast<std::size_t>(f)]);
+    words[i] = netlist::eval_gate_words(gate.type, fanin_words);
+  }
+  return words;
+}
+
+}  // namespace dg::sim

@@ -1,0 +1,98 @@
+#include "sim/probability.hpp"
+
+#include "sim/bitsim.hpp"
+#include "sim/patterns.hpp"
+#include "util/rng.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dg::sim {
+namespace {
+
+/// Generic Monte-Carlo driver: `simulate(pi_words)` must return one word per
+/// node; ones are accumulated per node over ceil(num_patterns / 64) blocks,
+/// with the final partial block masked.
+template <typename SimulateFn>
+std::vector<double> monte_carlo(std::size_t num_nodes, std::size_t num_inputs,
+                                std::size_t num_patterns, std::uint64_t seed,
+                                SimulateFn&& simulate) {
+  if (num_patterns == 0) return std::vector<double>(num_nodes, 0.0);
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> ones(num_nodes, 0);
+  std::size_t remaining = num_patterns;
+  while (remaining > 0) {
+    const std::uint64_t valid = remaining >= 64 ? 64 : remaining;
+    const std::uint64_t mask = lane_mask(valid);
+    const auto pi_words = random_pattern_word(num_inputs, rng);
+    const auto words = simulate(pi_words);
+    for (std::size_t v = 0; v < num_nodes; ++v)
+      ones[v] += static_cast<std::uint64_t>(std::popcount(words[v] & mask));
+    remaining -= valid;
+  }
+  std::vector<double> prob(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v)
+    prob[v] = static_cast<double>(ones[v]) / static_cast<double>(num_patterns);
+  return prob;
+}
+
+template <typename SimulateFn>
+std::vector<double> exhaustive(std::size_t num_nodes, std::size_t num_inputs,
+                               SimulateFn&& simulate) {
+  if (num_inputs > 24)
+    throw std::invalid_argument("exact probabilities limited to 24 inputs");
+  const std::uint64_t blocks = exhaustive_blocks(num_inputs);
+  const std::uint64_t total = num_inputs >= 6 ? (blocks << 6) : (1ULL << num_inputs);
+  const std::uint64_t valid_per_block = num_inputs >= 6 ? 64 : (1ULL << num_inputs);
+  std::vector<std::uint64_t> ones(num_nodes, 0);
+  std::vector<std::uint64_t> pi_words(num_inputs);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < num_inputs; ++i) pi_words[i] = exhaustive_word(i, b);
+    const auto words = simulate(pi_words);
+    const std::uint64_t mask = lane_mask(valid_per_block);
+    for (std::size_t v = 0; v < num_nodes; ++v)
+      ones[v] += static_cast<std::uint64_t>(std::popcount(words[v] & mask));
+  }
+  std::vector<double> prob(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v)
+    prob[v] = static_cast<double>(ones[v]) / static_cast<double>(total);
+  return prob;
+}
+
+}  // namespace
+
+std::vector<double> aig_probabilities(const aig::Aig& aig, std::size_t num_patterns,
+                                      std::uint64_t seed) {
+  return monte_carlo(aig.num_vars(), aig.num_inputs(), num_patterns, seed,
+                     [&](const std::vector<std::uint64_t>& pi) { return simulate_aig(aig, pi); });
+}
+
+std::vector<double> gate_graph_probabilities(const aig::GateGraph& g, std::size_t num_patterns,
+                                             std::uint64_t seed) {
+  const std::size_t num_inputs = g.kind_counts()[static_cast<std::size_t>(aig::GateKind::kPi)];
+  return monte_carlo(
+      g.size(), num_inputs, num_patterns, seed,
+      [&](const std::vector<std::uint64_t>& pi) { return simulate_gate_graph(g, pi); });
+}
+
+std::vector<double> netlist_probabilities(const netlist::Netlist& nl, std::size_t num_patterns,
+                                          std::uint64_t seed) {
+  return monte_carlo(
+      nl.size(), nl.inputs().size(), num_patterns, seed,
+      [&](const std::vector<std::uint64_t>& pi) { return simulate_netlist(nl, pi); });
+}
+
+std::vector<double> exact_aig_probabilities(const aig::Aig& aig) {
+  return exhaustive(aig.num_vars(), aig.num_inputs(), [&](const std::vector<std::uint64_t>& pi) {
+    return simulate_aig(aig, pi);
+  });
+}
+
+std::vector<double> exact_gate_graph_probabilities(const aig::GateGraph& g) {
+  const std::size_t num_inputs = g.kind_counts()[static_cast<std::size_t>(aig::GateKind::kPi)];
+  return exhaustive(g.size(), num_inputs, [&](const std::vector<std::uint64_t>& pi) {
+    return simulate_gate_graph(g, pi);
+  });
+}
+
+}  // namespace dg::sim

@@ -1,0 +1,35 @@
+// Signal-probability estimation — the supervision task of DeepGate
+// (Sec. III-B): the probability of each node being logic '1' under uniform
+// random inputs, estimated with up to 100k random patterns (or computed
+// exactly by exhaustive enumeration on small-input circuits).
+#pragma once
+
+#include "aig/aig.hpp"
+#include "aig/gate_graph.hpp"
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace dg::sim {
+
+/// Monte-Carlo probability per AIG variable.
+std::vector<double> aig_probabilities(const aig::Aig& aig, std::size_t num_patterns,
+                                      std::uint64_t seed);
+
+/// Monte-Carlo probability per gate-graph node (the GNN's training labels).
+std::vector<double> gate_graph_probabilities(const aig::GateGraph& g, std::size_t num_patterns,
+                                             std::uint64_t seed);
+
+/// Monte-Carlo probability per netlist gate.
+std::vector<double> netlist_probabilities(const netlist::Netlist& nl, std::size_t num_patterns,
+                                          std::uint64_t seed);
+
+/// Exact probability per AIG variable by exhaustive simulation. Requires
+/// num_inputs <= 24 (2^24 patterns); throws std::invalid_argument otherwise.
+std::vector<double> exact_aig_probabilities(const aig::Aig& aig);
+
+/// Exact probability per gate-graph node, same input bound.
+std::vector<double> exact_gate_graph_probabilities(const aig::GateGraph& g);
+
+}  // namespace dg::sim

@@ -1,0 +1,86 @@
+#include "synth/balance.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace dg::synth {
+
+using namespace dg::aig;
+
+namespace {
+
+/// Leaves of the maximal AND tree rooted at `root`, walking only through
+/// non-complemented AND edges whose target has a single fanout: multi-fanout
+/// nodes stay shared (collapsing through them would duplicate logic).
+/// `limit` bounds the collapse width.
+void collect_and_leaves(const Aig& a, Lit root, const std::vector<int>& fanout,
+                        std::vector<Lit>& leaves, std::size_t limit) {
+  std::vector<Lit> stack{root};
+  bool at_root = true;
+  while (!stack.empty()) {
+    const Lit l = stack.back();
+    stack.pop_back();
+    const Var v = lit_var(l);
+    const bool expandable = !lit_neg(l) && a.is_and(v) && (at_root || fanout[v] == 1);
+    at_root = false;
+    if (expandable && leaves.size() + stack.size() < limit) {
+      stack.push_back(a.fanin0(v));
+      stack.push_back(a.fanin1(v));
+    } else {
+      leaves.push_back(l);
+    }
+  }
+}
+
+}  // namespace
+
+Aig balance(const Aig& src) {
+  const std::vector<int> fanout = src.fanout_counts();
+  Aig dst;
+  std::vector<Lit> map(src.num_vars(), kLitFalse);
+  // Levels in the NEW graph, maintained incrementally so the Huffman
+  // combination can order operands by their rebuilt depth.
+  std::vector<int> lvl{0};  // const node
+
+  auto lvl_of = [&](Lit l) { return lvl[lit_var(l)]; };
+  auto new_and = [&](Lit x, Lit y) {
+    const std::size_t before = dst.num_vars();
+    const Lit r = dst.add_and(x, y);
+    if (dst.num_vars() > before) lvl.push_back(1 + std::max(lvl_of(x), lvl_of(y)));
+    return r;
+  };
+
+  for (std::size_t i = 0; i < src.num_inputs(); ++i) {
+    map[src.inputs()[i]] = make_lit(dst.add_input(src.input_name(i)), false);
+    lvl.push_back(0);
+  }
+
+  for (Var v = 0; v < src.num_vars(); ++v) {
+    if (!src.is_and(v)) continue;
+    std::vector<Lit> leaves;
+    collect_and_leaves(src, make_lit(v, false), fanout, leaves, /*limit=*/128);
+    // Map leaves into the new graph.
+    for (Lit& l : leaves) l = map[lit_var(l)] ^ (l & 1U);
+
+    // Huffman-style combine: repeatedly AND the two shallowest operands.
+    auto deeper = [&](Lit a, Lit b) { return lvl_of(a) > lvl_of(b); };
+    std::priority_queue<Lit, std::vector<Lit>, decltype(deeper)> heap(deeper, leaves);
+    while (heap.size() > 1) {
+      const Lit a = heap.top();
+      heap.pop();
+      const Lit b = heap.top();
+      heap.pop();
+      heap.push(new_and(a, b));
+    }
+    map[v] = heap.top();
+  }
+
+  for (std::size_t i = 0; i < src.num_outputs(); ++i) {
+    const Lit o = src.outputs()[i];
+    dst.add_output(map[lit_var(o)] ^ (o & 1U), src.output_name(i));
+  }
+  return dst;
+}
+
+}  // namespace dg::synth

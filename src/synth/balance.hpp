@@ -1,0 +1,13 @@
+// Depth-oriented AND-tree balancing (ABC `balance` analogue): maximal AND
+// trees are collapsed and rebuilt Huffman-style, combining the two
+// shallowest operands first, which minimizes the depth of each conjunction.
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace dg::synth {
+
+/// Functionally equivalent AIG with (weakly) reduced depth.
+aig::Aig balance(const aig::Aig& src);
+
+}  // namespace dg::synth

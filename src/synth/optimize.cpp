@@ -1,0 +1,21 @@
+#include "synth/optimize.hpp"
+
+#include "synth/balance.hpp"
+#include "synth/rewrite.hpp"
+#include "synth/sweep.hpp"
+
+namespace dg::synth {
+
+aig::Aig optimize(const aig::Aig& src, const OptimizeOptions& opts) {
+  aig::Aig cur = sweep(src);
+  for (int r = 0; r < opts.rounds; ++r) {
+    const std::size_t before = cur.num_ands();
+    if (opts.do_rewrite) cur = rewrite(cur);
+    if (opts.do_balance) cur = balance(cur);
+    cur = sweep(cur);
+    if (cur.num_ands() == before) break;  // converged
+  }
+  return cur;
+}
+
+}  // namespace dg::synth

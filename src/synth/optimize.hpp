@@ -1,0 +1,20 @@
+// Full light-synthesis pipeline — the repository's stand-in for "logic
+// optimization with ABC" in the paper's circuit-data-preparation flow
+// (Fig. 2a). Function-preserving by construction; the equivalence tests in
+// tests/synth_test.cpp verify it by simulation.
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace dg::synth {
+
+struct OptimizeOptions {
+  int rounds = 2;         ///< rewrite/balance iterations
+  bool do_rewrite = true;
+  bool do_balance = true;
+};
+
+/// sweep -> [rewrite -> balance]^rounds -> sweep.
+aig::Aig optimize(const aig::Aig& src, const OptimizeOptions& opts = {});
+
+}  // namespace dg::synth

@@ -1,0 +1,64 @@
+#include "synth/rewrite.hpp"
+
+#include "synth/sweep.hpp"
+
+#include <vector>
+
+namespace dg::synth {
+
+using namespace dg::aig;
+
+Lit smart_and(Aig& dst, Lit x, Lit y) {
+  // One level of lookahead on either operand. Let x' = var(x) = AND(c0, c1).
+  //   x non-complemented (x = c0 & c1):
+  //     y == c0 or c1          -> x        (absorption: x & y == x)
+  //     y == !c0 or !c1        -> const0   (contradiction)
+  //   x complemented (x = !(c0 & c1)):
+  //     y == !c0 or !c1        -> y        (substitution: y forces c0&c1 = 0)
+  auto try_one = [&](Lit p, Lit q) -> std::pair<bool, Lit> {
+    const Var v = lit_var(p);
+    if (!dst.is_and(v)) return {false, 0};
+    const Lit c0 = dst.fanin0(v), c1 = dst.fanin1(v);
+    if (!lit_neg(p)) {
+      if (q == c0 || q == c1) return {true, p};
+      if (q == lit_not(c0) || q == lit_not(c1)) return {true, kLitFalse};
+    } else {
+      if (q == lit_not(c0) || q == lit_not(c1)) return {true, q};
+    }
+    return {false, 0};
+  };
+
+  if (auto [hit, lit] = try_one(x, y); hit) return lit;
+  if (auto [hit, lit] = try_one(y, x); hit) return lit;
+
+  // Two-AND rules: x = a&b, y = c&d sharing a contradictory pair -> const0.
+  if (!lit_neg(x) && !lit_neg(y) && dst.is_and(lit_var(x)) && dst.is_and(lit_var(y))) {
+    const Lit a = dst.fanin0(lit_var(x)), b = dst.fanin1(lit_var(x));
+    const Lit c = dst.fanin0(lit_var(y)), d = dst.fanin1(lit_var(y));
+    if (a == lit_not(c) || a == lit_not(d) || b == lit_not(c) || b == lit_not(d))
+      return kLitFalse;
+  }
+  return dst.add_and(x, y);
+}
+
+Aig rewrite(const Aig& src) {
+  Aig dst;
+  std::vector<Lit> map(src.num_vars(), kLitFalse);
+  for (std::size_t i = 0; i < src.num_inputs(); ++i)
+    map[src.inputs()[i]] = make_lit(dst.add_input(src.input_name(i)), false);
+  for (Var v = 0; v < src.num_vars(); ++v) {
+    if (!src.is_and(v)) continue;
+    const Lit f0 = map[lit_var(src.fanin0(v))] ^ (src.fanin0(v) & 1U);
+    const Lit f1 = map[lit_var(src.fanin1(v))] ^ (src.fanin1(v) & 1U);
+    map[v] = smart_and(dst, f0, f1);
+  }
+  for (std::size_t i = 0; i < src.num_outputs(); ++i) {
+    const Lit o = src.outputs()[i];
+    dst.add_output(map[lit_var(o)] ^ (o & 1U), src.output_name(i));
+  }
+  // Rule hits leave superseded nodes dangling; sweep them away so rewrite
+  // never increases the node count.
+  return sweep(dst);
+}
+
+}  // namespace dg::synth

@@ -1,0 +1,19 @@
+// Local one-level AIG rewriting: absorption, substitution and contradiction
+// rules over adjacent AND pairs. Together with structural hashing this is the
+// cheap part of what ABC's `rewrite` contributes — redundancy removal that
+// sharpens the structural inductive bias of the training graphs.
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace dg::synth {
+
+/// Rebuild with one-level-lookahead simplification. Never increases the node
+/// count on already-swept AIGs.
+aig::Aig rewrite(const aig::Aig& src);
+
+/// The rule engine itself: AND of two literals in `dst` with one level of
+/// lookahead into existing nodes. Exposed for reuse by other passes.
+aig::Lit smart_and(aig::Aig& dst, aig::Lit x, aig::Lit y);
+
+}  // namespace dg::synth

@@ -1,0 +1,70 @@
+#include "synth/sweep.hpp"
+
+#include <vector>
+
+namespace dg::synth {
+
+aig::Aig sweep(const aig::Aig& src) {
+  using namespace dg::aig;
+
+  // Mark the transitive fanin of all outputs.
+  std::vector<char> needed(src.num_vars(), 0);
+  std::vector<Var> stack;
+  for (Lit o : src.outputs()) {
+    if (!needed[lit_var(o)]) {
+      needed[lit_var(o)] = 1;
+      stack.push_back(lit_var(o));
+    }
+  }
+  while (!stack.empty()) {
+    const Var v = stack.back();
+    stack.pop_back();
+    if (!src.is_and(v)) continue;
+    for (Lit f : {src.fanin0(v), src.fanin1(v)}) {
+      if (!needed[lit_var(f)]) {
+        needed[lit_var(f)] = 1;
+        stack.push_back(lit_var(f));
+      }
+    }
+  }
+
+  // Rebuild. All inputs are kept (even unused ones) so the PI interface of
+  // the circuit is stable; only dangling AND logic is dropped.
+  Aig dst;
+  std::vector<Lit> map(src.num_vars(), kLitFalse);
+  for (std::size_t i = 0; i < src.num_inputs(); ++i)
+    map[src.inputs()[i]] = make_lit(dst.add_input(src.input_name(i)), false);
+  for (Var v = 0; v < src.num_vars(); ++v) {
+    if (!src.is_and(v) || !needed[v]) continue;
+    const Lit f0 = map[lit_var(src.fanin0(v))] ^ (src.fanin0(v) & 1U);
+    const Lit f1 = map[lit_var(src.fanin1(v))] ^ (src.fanin1(v) & 1U);
+    map[v] = dst.add_and(f0, f1);
+  }
+  for (std::size_t i = 0; i < src.num_outputs(); ++i) {
+    const Lit o = src.outputs()[i];
+    dst.add_output(map[lit_var(o)] ^ (o & 1U), src.output_name(i));
+  }
+  return dst;
+}
+
+aig::Aig drop_constant_outputs(const aig::Aig& src) {
+  using namespace dg::aig;
+  Aig tmp;
+  std::vector<Lit> map(src.num_vars(), kLitFalse);
+  for (std::size_t i = 0; i < src.num_inputs(); ++i)
+    map[src.inputs()[i]] = make_lit(tmp.add_input(src.input_name(i)), false);
+  for (Var v = 0; v < src.num_vars(); ++v) {
+    if (!src.is_and(v)) continue;
+    const Lit f0 = map[lit_var(src.fanin0(v))] ^ (src.fanin0(v) & 1U);
+    const Lit f1 = map[lit_var(src.fanin1(v))] ^ (src.fanin1(v) & 1U);
+    map[v] = tmp.add_and(f0, f1);
+  }
+  for (std::size_t i = 0; i < src.num_outputs(); ++i) {
+    const Lit o = src.outputs()[i];
+    const Lit mapped = map[lit_var(o)] ^ (o & 1U);
+    if (lit_var(mapped) != 0) tmp.add_output(mapped, src.output_name(i));
+  }
+  return sweep(tmp);
+}
+
+}  // namespace dg::synth

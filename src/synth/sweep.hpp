@@ -1,0 +1,19 @@
+// Dangling-logic sweep + constant propagation: rebuilds the AIG through the
+// simplifying/hashing builder, keeping only the transitive fanin of the
+// outputs. Constants introduced anywhere are folded away by the rebuild.
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace dg::synth {
+
+/// Functionally equivalent AIG containing only output-reachable logic.
+aig::Aig sweep(const aig::Aig& src);
+
+/// Remove primary outputs that optimization proved constant (e.g. bit 1 of a
+/// squarer, which is identically 0). The GNN gate graph has no constant node
+/// type, so such outputs cannot be represented; dropping them changes the PO
+/// list but no remaining function. Runs a sweep afterwards.
+aig::Aig drop_constant_outputs(const aig::Aig& src);
+
+}  // namespace dg::synth

@@ -1,0 +1,41 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace dg::util {
+
+BenchScale bench_scale() {
+  const char* v = std::getenv("DEEPGATE_SCALE");
+  if (v == nullptr) return BenchScale::kSmall;
+  const std::string s(v);
+  if (s == "tiny") return BenchScale::kTiny;
+  if (s == "paper") return BenchScale::kPaper;
+  return BenchScale::kSmall;
+}
+
+const char* bench_scale_name(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kTiny: return "tiny";
+    case BenchScale::kSmall: return "small";
+    case BenchScale::kPaper: return "paper";
+  }
+  return "?";
+}
+
+long long env_int(const std::string& name, long long fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end == v) ? fallback : parsed;
+}
+
+int env_epochs(int fallback) {
+  return static_cast<int>(env_int("DEEPGATE_EPOCHS", fallback));
+}
+
+std::uint64_t env_seed(std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(env_int("DEEPGATE_SEED", static_cast<long long>(fallback)));
+}
+
+}  // namespace dg::util

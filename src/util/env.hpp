@@ -1,0 +1,30 @@
+// Environment-variable knobs shared by the benchmark harnesses so every
+// bench binary can be scaled without recompiling:
+//
+//   DEEPGATE_SCALE  = tiny | small | paper   (default small)
+//   DEEPGATE_EPOCHS = <int>                  (override epoch count)
+//   DEEPGATE_SEED   = <uint64>               (default 1)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dg::util {
+
+enum class BenchScale { kTiny, kSmall, kPaper };
+
+/// Parse DEEPGATE_SCALE (unknown values fall back to kSmall).
+BenchScale bench_scale();
+
+const char* bench_scale_name(BenchScale scale);
+
+/// DEEPGATE_EPOCHS if set, else `fallback`.
+int env_epochs(int fallback);
+
+/// DEEPGATE_SEED if set, else `fallback`.
+std::uint64_t env_seed(std::uint64_t fallback = 1);
+
+/// Generic integer env lookup.
+long long env_int(const std::string& name, long long fallback);
+
+}  // namespace dg::util

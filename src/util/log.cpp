@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <iostream>
+
+namespace dg::util {
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << "[deepgate " << level_tag(level) << "] " << msg << '\n';
+}
+
+Timer::Timer() : start_ns_(now_ns()) {}
+
+double Timer::seconds() const { return static_cast<double>(now_ns() - start_ns_) * 1e-9; }
+
+void Timer::reset() { start_ns_ = now_ns(); }
+
+}  // namespace dg::util

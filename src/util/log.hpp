@@ -1,0 +1,61 @@
+// Minimal leveled logging to stderr. Intended for library diagnostics; the
+// benchmark harnesses print their tables to stdout directly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dg::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (thread-unsafe by design; the library is
+/// single-threaded).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::format_parts(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::format_parts(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::format_parts(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_line(LogLevel::kError, detail::format_parts(std::forward<Args>(args)...));
+}
+
+/// Simple wall-clock stopwatch for harness reporting.
+class Timer {
+ public:
+  Timer();
+  /// Seconds since construction or last reset().
+  double seconds() const;
+  void reset();
+
+ private:
+  long long start_ns_;
+};
+
+}  // namespace dg::util

@@ -1,0 +1,76 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace dg::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless bounded generation (bias negligible at 64b).
+  const std::uint64_t x = next_u64();
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound)) >> 64);
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+float Rng::next_float() {
+  return static_cast<float>(next_u64() >> 40) * (1.0F / 16777216.0F);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+float Rng::next_normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = 0.0;
+  while (u1 <= 1e-12) u1 = next_double();
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = static_cast<float>(mag * std::sin(2.0 * 3.14159265358979323846 * u2));
+  have_spare_normal_ = true;
+  return static_cast<float>(mag * std::cos(2.0 * 3.14159265358979323846 * u2));
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace dg::util

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components in the library (dataset generation, pattern
+// generation, weight initialization, shuffling) draw from dg::util::Rng so a
+// single seed reproduces an entire experiment end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dg::util {
+
+/// xoshiro256** — small, fast, high-quality PRNG, seeded via SplitMix64.
+/// Deliberately not std::mt19937: the state is tiny, copies are cheap, and
+/// the stream is identical across platforms/compilers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform float in [0, 1).
+  float next_float();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal via Box-Muller.
+  float next_normal();
+
+  /// Bernoulli with probability p of returning true.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for parallel-safe sub-generators).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  float spare_normal_ = 0.0F;
+};
+
+}  // namespace dg::util

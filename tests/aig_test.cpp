@@ -1,0 +1,152 @@
+#include "aig/aig.hpp"
+
+#include "sim/bitsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::aig {
+namespace {
+
+TEST(Lit, Encoding) {
+  const Lit l = make_lit(5, true);
+  EXPECT_EQ(lit_var(l), 5U);
+  EXPECT_TRUE(lit_neg(l));
+  EXPECT_EQ(lit_not(l), make_lit(5, false));
+  EXPECT_EQ(lit_strip(l), make_lit(5, false));
+  EXPECT_EQ(kLitTrue, lit_not(kLitFalse));
+}
+
+TEST(Aig, ConstNodeExists) {
+  Aig a;
+  EXPECT_EQ(a.num_vars(), 1U);
+  EXPECT_TRUE(a.is_const(0));
+}
+
+TEST(Aig, TrivialSimplifications) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  EXPECT_EQ(a.add_and(x, kLitFalse), kLitFalse);
+  EXPECT_EQ(a.add_and(kLitFalse, x), kLitFalse);
+  EXPECT_EQ(a.add_and(x, kLitTrue), x);
+  EXPECT_EQ(a.add_and(kLitTrue, x), x);
+  EXPECT_EQ(a.add_and(x, x), x);
+  EXPECT_EQ(a.add_and(x, lit_not(x)), kLitFalse);
+  EXPECT_EQ(a.num_ands(), 0U);
+}
+
+TEST(Aig, StructuralHashingDeduplicates) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  const Lit n2 = a.add_and(y, x);  // commuted
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(a.num_ands(), 1U);
+  const Lit n3 = a.add_and(x, lit_not(y));  // different polarity -> new node
+  EXPECT_NE(n1, n3);
+  EXPECT_EQ(a.num_ands(), 2U);
+}
+
+TEST(Aig, RawBypassesHashing) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and_raw(x, y);
+  const Lit n2 = a.add_and_raw(x, y);
+  EXPECT_NE(n1, n2);
+  EXPECT_EQ(a.num_ands(), 2U);
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  const Lit n2 = a.add_and(n1, z);
+  a.add_output(n2);
+  const auto lvl = a.levels();
+  EXPECT_EQ(lvl[lit_var(x)], 0);
+  EXPECT_EQ(lvl[lit_var(n1)], 1);
+  EXPECT_EQ(lvl[lit_var(n2)], 2);
+  EXPECT_EQ(a.depth(), 2);
+}
+
+TEST(Aig, FanoutCounts) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  const Lit n2 = a.add_and(n1, x);  // x used twice, n1 once here
+  a.add_output(n2);
+  a.add_output(n1);  // n1 also drives an output
+  const auto fo = a.fanout_counts();
+  EXPECT_EQ(fo[lit_var(x)], 2);
+  EXPECT_EQ(fo[lit_var(n1)], 2);  // one AND + one PO
+  EXPECT_EQ(fo[lit_var(n2)], 1);
+}
+
+TEST(Aig, MakeOrTruthTable) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(a.make_or(x, y));
+  // 4 patterns: x = 0101..., y = 0011...
+  const auto words = sim::simulate_aig(a, {0xAULL, 0xCULL});
+  EXPECT_EQ(sim::lit_word(words, a.outputs()[0]) & 0xFULL, 0xEULL);  // OR
+}
+
+TEST(Aig, MakeXorTruthTable) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(a.make_xor(x, y));
+  const auto words = sim::simulate_aig(a, {0xAULL, 0xCULL});
+  EXPECT_EQ(sim::lit_word(words, a.outputs()[0]) & 0xFULL, 0x6ULL);  // XOR
+}
+
+TEST(Aig, MakeMuxTruthTable) {
+  Aig a;
+  const Lit s = make_lit(a.add_input(), false);
+  const Lit t = make_lit(a.add_input(), false);
+  const Lit e = make_lit(a.add_input(), false);
+  a.add_output(a.make_mux(s, t, e));
+  // s=0xF0, t=0xCC, e=0xAA -> out = (s&t)|(!s&e) = 0xC0 | 0x0A = 0xCA
+  const auto words = sim::simulate_aig(a, {0xF0ULL, 0xCCULL, 0xAAULL});
+  EXPECT_EQ(sim::lit_word(words, a.outputs()[0]) & 0xFFULL, 0xCAULL);
+}
+
+TEST(Aig, WideAndIsBalanced) {
+  Aig a;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 16; ++i) lits.push_back(make_lit(a.add_input(), false));
+  a.add_output(a.make_and_n(lits));
+  EXPECT_EQ(a.depth(), 4);  // log2(16)
+  EXPECT_EQ(a.num_ands(), 15U);
+}
+
+TEST(Aig, EmptyAndNIsTrue) {
+  Aig a;
+  EXPECT_EQ(a.make_and_n({}), kLitTrue);
+  EXPECT_EQ(a.make_or_n({}), kLitFalse);
+}
+
+TEST(Aig, UsesConstantsDetection) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  a.add_output(x);
+  EXPECT_FALSE(a.uses_constants());
+  a.add_output(kLitTrue);
+  EXPECT_TRUE(a.uses_constants());
+}
+
+TEST(Aig, OutputNames) {
+  Aig a;
+  const Var v = a.add_input("clk_en");
+  a.add_output(make_lit(v, true), "n_out");
+  EXPECT_EQ(a.input_name(0), "clk_en");
+  EXPECT_EQ(a.output_name(0), "n_out");
+}
+
+}  // namespace
+}  // namespace dg::aig

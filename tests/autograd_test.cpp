@@ -1,0 +1,166 @@
+// Analytic gradient checks for every autograd op, verified against central
+// finite differences via nn::gradcheck.
+#include "nn/gradcheck.hpp"
+#include "nn/init.hpp"
+#include "nn/ops.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::nn {
+namespace {
+
+Tensor param(int r, int c, util::Rng& rng) {
+  return Tensor::leaf(normal(r, c, 0.5F, rng), /*requires_grad=*/true);
+}
+
+TEST(Autograd, Matmul) {
+  util::Rng rng(1);
+  Tensor a = param(3, 4, rng), b = param(4, 2, rng);
+  const auto res = gradcheck([&] { return sum_all(matmul(a, b)); }, {a, b});
+  EXPECT_TRUE(res.ok) << "rel=" << res.max_rel_err;
+}
+
+TEST(Autograd, AddSubMul) {
+  util::Rng rng(2);
+  Tensor a = param(2, 3, rng), b = param(2, 3, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(add(a, b)); }, {a, b}).ok);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(sub(a, b)); }, {a, b}).ok);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(mul(a, b)); }, {a, b}).ok);
+}
+
+TEST(Autograd, ScaleAndAddRowvec) {
+  util::Rng rng(3);
+  Tensor a = param(3, 2, rng), b = param(1, 2, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(scale(a, -1.7F)); }, {a}).ok);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(add_rowvec(a, b)); }, {a, b}).ok);
+}
+
+TEST(Autograd, ScaleRows) {
+  util::Rng rng(4);
+  Tensor a = param(3, 4, rng), s = param(3, 1, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(scale_rows(a, s)); }, {a, s}).ok);
+}
+
+TEST(Autograd, Activations) {
+  util::Rng rng(5);
+  Tensor a = param(2, 3, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(sigmoid(a)); }, {a}).ok);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(tanh_t(a)); }, {a}).ok);
+  // ReLU: keep values away from the kink.
+  Tensor b = Tensor::leaf(Matrix::from_vector(1, 4, {-1.0F, -0.5F, 0.5F, 1.0F}), true);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(relu(b)); }, {b}).ok);
+}
+
+TEST(Autograd, ConcatSlice) {
+  util::Rng rng(6);
+  Tensor a = param(2, 3, rng), b = param(2, 2, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(concat_cols(a, b)); }, {a, b}).ok);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(slice_cols(a, 1, 3)); }, {a}).ok);
+}
+
+TEST(Autograd, ConcatRows) {
+  util::Rng rng(7);
+  Tensor a = param(2, 3, rng), b = param(1, 3, rng), c = param(3, 3, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(concat_rows({a, b, c})); }, {a, b, c}).ok);
+  // weighted so each part's gradient differs
+  Tensor w = param(6, 3, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(mul(concat_rows({a, b, c}), w)); }, {a, b, c, w}).ok);
+}
+
+TEST(Autograd, GatherScatter) {
+  util::Rng rng(8);
+  Tensor a = param(4, 3, rng);
+  const std::vector<int> idx{0, 2, 2, 3};
+  Tensor w = param(4, 3, rng);
+  EXPECT_TRUE(gradcheck([&] { return sum_all(mul(gather_rows(a, idx), w)); }, {a, w}).ok);
+  Tensor src = param(4, 2, rng);
+  Tensor w2 = param(3, 2, rng);
+  EXPECT_TRUE(
+      gradcheck([&] { return sum_all(mul(scatter_add_rows(src, {1, 0, 1, 2}, 3), w2)); },
+                {src, w2})
+          .ok);
+}
+
+TEST(Autograd, SoftmaxSegments) {
+  util::Rng rng(9);
+  Tensor scores = param(6, 1, rng);
+  const std::vector<int> seg{0, 0, 1, 1, 1, 2};
+  Tensor w = param(6, 1, rng);
+  const auto res =
+      gradcheck([&] { return sum_all(mul(softmax_segments(scores, seg, 3), w)); }, {scores, w});
+  EXPECT_TRUE(res.ok) << "rel=" << res.max_rel_err;
+}
+
+TEST(Autograd, SoftmaxSegmentsSumsToOnePerSegment) {
+  util::Rng rng(10);
+  Tensor scores = param(5, 1, rng);
+  const std::vector<int> seg{0, 1, 1, 0, 1};
+  const Tensor alpha = softmax_segments(scores, seg, 2);
+  float s0 = alpha.value().at(0, 0) + alpha.value().at(3, 0);
+  float s1 = alpha.value().at(1, 0) + alpha.value().at(2, 0) + alpha.value().at(4, 0);
+  EXPECT_NEAR(s0, 1.0F, 1e-5F);
+  EXPECT_NEAR(s1, 1.0F, 1e-5F);
+}
+
+TEST(Autograd, Losses) {
+  util::Rng rng(11);
+  Tensor pred = Tensor::leaf(normal(5, 1, 0.3F, rng), true);
+  const Matrix target = normal(5, 1, 0.3F, rng);
+  EXPECT_TRUE(gradcheck([&] { return mse_loss(pred, target); }, {pred}).ok);
+  // L1: subgradient at zero — values here are off-zero with prob 1.
+  EXPECT_TRUE(gradcheck([&] { return l1_loss(pred, target); }, {pred}).ok);
+}
+
+TEST(Autograd, MeanAll) {
+  util::Rng rng(12);
+  Tensor a = param(3, 3, rng);
+  EXPECT_TRUE(gradcheck([&] { return mean_all(a); }, {a}).ok);
+}
+
+TEST(Autograd, GradAccumulatesAcrossSharedUse) {
+  // f = sum(a*a) via two uses of `a`: grad should be 2a.
+  Tensor a = Tensor::leaf(Matrix::from_vector(1, 2, {3.0F, -2.0F}), true);
+  Tensor loss = sum_all(mul(a, a));
+  loss.backward();
+  ASSERT_TRUE(a.has_grad());
+  EXPECT_NEAR(a.grad().at(0, 0), 6.0F, 1e-5F);
+  EXPECT_NEAR(a.grad().at(0, 1), -4.0F, 1e-5F);
+}
+
+TEST(Autograd, NoGradGuardDisablesTaping) {
+  Tensor a = Tensor::leaf(Matrix::full(1, 1, 2.0F), true);
+  {
+    NoGradGuard guard;
+    Tensor y = mul(a, a);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor y2 = mul(a, a);
+  EXPECT_TRUE(y2.requires_grad());
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Tensor a = Tensor::leaf(Matrix::zeros(2, 2), true);
+  Tensor y = mul(a, a);
+  EXPECT_THROW(y.backward(), std::logic_error);
+}
+
+TEST(Autograd, ZeroGradClears) {
+  Tensor a = Tensor::leaf(Matrix::full(1, 1, 1.0F), true);
+  sum_all(mul(a, a)).backward();
+  EXPECT_TRUE(a.has_grad());
+  a.zero_grad();
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(Autograd, DiamondGraphGradient) {
+  // y = sum((a+a) * (a*2)) = sum(4 a^2) -> dy/da = 8a
+  Tensor a = Tensor::leaf(Matrix::full(1, 1, 3.0F), true);
+  Tensor left = add(a, a);
+  Tensor right = scale(a, 2.0F);
+  sum_all(mul(left, right)).backward();
+  EXPECT_NEAR(a.grad().at(0, 0), 24.0F, 1e-4F);
+}
+
+}  // namespace
+}  // namespace dg::nn

@@ -1,0 +1,126 @@
+#include "bdd/bdd.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  BddManager mgr(3);
+  EXPECT_TRUE(mgr.is_terminal(BddManager::kFalse));
+  EXPECT_TRUE(mgr.is_terminal(BddManager::kTrue));
+  const auto x0 = mgr.var(0);
+  EXPECT_FALSE(mgr.is_terminal(x0));
+  EXPECT_EQ(mgr.var_of(x0), 0);
+  EXPECT_EQ(mgr.low(x0), BddManager::kFalse);
+  EXPECT_EQ(mgr.high(x0), BddManager::kTrue);
+}
+
+TEST(Bdd, Canonicity) {
+  // Same function built two ways shares one node (hash-consing).
+  BddManager mgr(2);
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  const auto ab1 = mgr.apply_and(a, b);
+  const auto ab2 = mgr.apply_and(b, a);
+  EXPECT_EQ(ab1, ab2);
+  // De Morgan: !(a & b) == !a | !b
+  const auto lhs = mgr.apply_not(mgr.apply_and(a, b));
+  const auto rhs = mgr.apply_or(mgr.apply_not(a), mgr.apply_not(b));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Bdd, BasicIdentities) {
+  BddManager mgr(2);
+  const auto a = mgr.var(0);
+  EXPECT_EQ(mgr.apply_and(a, BddManager::kTrue), a);
+  EXPECT_EQ(mgr.apply_and(a, BddManager::kFalse), BddManager::kFalse);
+  EXPECT_EQ(mgr.apply_or(a, BddManager::kFalse), a);
+  EXPECT_EQ(mgr.apply_or(a, BddManager::kTrue), BddManager::kTrue);
+  EXPECT_EQ(mgr.apply_and(a, mgr.apply_not(a)), BddManager::kFalse);
+  EXPECT_EQ(mgr.apply_or(a, mgr.apply_not(a)), BddManager::kTrue);
+  EXPECT_EQ(mgr.apply_xor(a, a), BddManager::kFalse);
+  EXPECT_EQ(mgr.apply_not(mgr.apply_not(a)), a);
+}
+
+TEST(Bdd, IteMatchesTruthTable) {
+  BddManager mgr(3);
+  const auto f = mgr.ite(mgr.var(0), mgr.var(1), mgr.var(2));
+  for (std::uint64_t assignment = 0; assignment < 8; ++assignment) {
+    const bool s = assignment & 1, t = (assignment >> 1) & 1, e = (assignment >> 2) & 1;
+    EXPECT_EQ(mgr.evaluate(f, assignment), s ? t : e) << assignment;
+  }
+}
+
+TEST(Bdd, SatFractionExact) {
+  BddManager mgr(4);
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(a), 0.5);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(mgr.apply_and(a, b)), 0.25);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(mgr.apply_or(a, b)), 0.75);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(mgr.apply_xor(a, b)), 0.5);
+  // AND over all 4 vars: 1/16; the BDD skips no variables here.
+  auto all = a;
+  for (int i = 1; i < 4; ++i) all = mgr.apply_and(all, mgr.var(i));
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(all), 1.0 / 16.0);
+}
+
+TEST(Bdd, SatFractionWithSkippedLevels) {
+  // f = x0 (vars x1..x3 unused): fraction must still be 1/2 despite the BDD
+  // having a single decision node.
+  BddManager mgr(4);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(mgr.var(0)), 0.5);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.var(0)), 8.0);  // 2^4 / 2
+}
+
+TEST(Bdd, SizeCountsReachableNodes) {
+  BddManager mgr(3);
+  const auto f = mgr.apply_xor(mgr.apply_xor(mgr.var(0), mgr.var(1)), mgr.var(2));
+  // Parity of 3 vars: 2 terminals + 1 + 2 + 2 decision nodes.
+  EXPECT_EQ(mgr.size(f), 7U);
+}
+
+TEST(Bdd, EvaluateAgainstRandomAssignments) {
+  // Random expression vs direct evaluation on all 2^6 assignments.
+  util::Rng rng(7);
+  BddManager mgr(6);
+  std::vector<BddManager::Node> pool;
+  for (int i = 0; i < 6; ++i) pool.push_back(mgr.var(i));
+  std::vector<int> op_log;
+  for (int i = 0; i < 20; ++i) {
+    const auto x = pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    const auto y = pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    switch (rng.next_below(3)) {
+      case 0: pool.push_back(mgr.apply_and(x, y)); break;
+      case 1: pool.push_back(mgr.apply_or(x, y)); break;
+      default: pool.push_back(mgr.apply_xor(x, y)); break;
+    }
+  }
+  const auto f = pool.back();
+  // sat_fraction must equal the enumerated fraction.
+  std::size_t ones = 0;
+  for (std::uint64_t assignment = 0; assignment < 64; ++assignment)
+    ones += mgr.evaluate(f, assignment);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(f), static_cast<double>(ones) / 64.0);
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  // A function family with exponential BDDs under a bad order: the hidden
+  // weighted-bit comparator; with a tiny limit, construction must throw.
+  BddManager mgr(24, /*node_limit=*/64);
+  EXPECT_THROW(
+      {
+        auto acc = BddManager::kFalse;
+        for (int i = 0; i < 12; ++i) {
+          const auto prod = mgr.apply_and(mgr.var(i), mgr.var(23 - i));
+          acc = mgr.apply_xor(acc, prod);
+        }
+      },
+      NodeLimitExceeded);
+}
+
+}  // namespace
+}  // namespace dg::bdd

@@ -1,0 +1,98 @@
+#include "netlist/bench_io.hpp"
+
+#include "data/generators_small.hpp"
+#include "sim/bitsim.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::netlist {
+namespace {
+
+TEST(BenchIo, ParseSimple) {
+  const std::string text =
+      "# comment line\n"
+      "INPUT(a)\n"
+      "INPUT(b)\n"
+      "OUTPUT(f)\n"
+      "f = NAND(a, b)\n";
+  std::string err;
+  auto nl = read_bench(text, &err);
+  ASSERT_TRUE(nl.has_value()) << err;
+  EXPECT_EQ(nl->inputs().size(), 2U);
+  EXPECT_EQ(nl->outputs().size(), 1U);
+  EXPECT_EQ(nl->gate(nl->outputs()[0]).type, GateType::kNand);
+}
+
+TEST(BenchIo, OutOfOrderDefinitions) {
+  const std::string text =
+      "INPUT(a)\n"
+      "OUTPUT(g)\n"
+      "g = NOT(f)\n"    // uses f before its definition
+      "f = BUF(a)\n";
+  std::string err;
+  auto nl = read_bench(text, &err);
+  ASSERT_TRUE(nl.has_value()) << err;
+  EXPECT_EQ(nl->gate(nl->outputs()[0]).type, GateType::kNot);
+}
+
+TEST(BenchIo, RejectsUndefinedSignal) {
+  std::string err;
+  EXPECT_FALSE(read_bench("OUTPUT(f)\nf = AND(x, y)\n", &err).has_value());
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  std::string err;
+  EXPECT_FALSE(read_bench("INPUT(a)\nf = FROB(a)\n", &err).has_value());
+  EXPECT_NE(err.find("unknown gate"), std::string::npos);
+}
+
+TEST(BenchIo, RejectsCycle) {
+  const std::string text =
+      "INPUT(a)\n"
+      "x = AND(a, y)\n"
+      "y = AND(a, x)\n";
+  std::string err;
+  EXPECT_FALSE(read_bench(text, &err).has_value());
+  EXPECT_NE(err.find("cyclic"), std::string::npos);
+}
+
+TEST(BenchIo, AcceptsAliases) {
+  std::string err;
+  auto nl = read_bench("INPUT(a)\nf = INV(a)\ng = BUFF(a)\nOUTPUT(f)\nOUTPUT(g)\n", &err);
+  ASSERT_TRUE(nl.has_value()) << err;
+  EXPECT_EQ(nl->gate(nl->outputs()[0]).type, GateType::kNot);
+  EXPECT_EQ(nl->gate(nl->outputs()[1]).type, GateType::kBuf);
+}
+
+TEST(BenchIo, RoundTripPreservesSimulation) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Netlist original = data::gen_iwls_like(rng);
+    const std::string text = write_bench(original);
+    std::string err;
+    auto parsed = read_bench(text, &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    ASSERT_EQ(parsed->inputs().size(), original.inputs().size());
+    ASSERT_EQ(parsed->outputs().size(), original.outputs().size());
+
+    std::vector<std::uint64_t> patterns(original.inputs().size());
+    for (auto& w : patterns) w = rng.next_u64();
+    const auto w1 = sim::simulate_netlist(original, patterns);
+    const auto w2 = sim::simulate_netlist(*parsed, patterns);
+    for (std::size_t o = 0; o < original.outputs().size(); ++o) {
+      EXPECT_EQ(w1[static_cast<std::size_t>(original.outputs()[o])],
+                w2[static_cast<std::size_t>(parsed->outputs()[o])]);
+    }
+  }
+}
+
+TEST(BenchIo, CaseInsensitiveGateNames) {
+  std::string err;
+  auto nl = read_bench("INPUT(a)\nINPUT(b)\nf = nand(a, b)\nOUTPUT(f)\n", &err);
+  ASSERT_TRUE(nl.has_value()) << err;
+  EXPECT_EQ(nl->gate(nl->outputs()[0]).type, GateType::kNand);
+}
+
+}  // namespace
+}  // namespace dg::netlist

@@ -1,0 +1,132 @@
+#include "bdd/circuit_bdd.hpp"
+
+#include "data/generators_large.hpp"
+#include "data/generators_small.hpp"
+#include "netlist/to_aig.hpp"
+#include "sim/probability.hpp"
+#include "synth/optimize.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dg::bdd {
+namespace {
+
+using namespace dg::aig;
+
+TEST(CircuitBdd, ExactMatchesExhaustiveSimulation) {
+  util::Rng rng(1);
+  Aig a;
+  std::vector<Lit> pool;
+  for (int i = 0; i < 10; ++i) pool.push_back(make_lit(a.add_input(), false));
+  for (int i = 0; i < 40; ++i) {
+    const Lit p = pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    Lit q = pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    if (rng.next_bool()) q = lit_not(q);
+    pool.push_back(a.add_and(p, q));
+  }
+  a.add_output(pool.back());
+
+  const auto symbolic = exact_probabilities(a);
+  ASSERT_TRUE(symbolic.has_value());
+  const auto enumerated = sim::exact_aig_probabilities(a);
+  for (Var v = 1; v < a.num_vars(); ++v)
+    EXPECT_NEAR((*symbolic)[v], enumerated[v], 1e-12) << "var " << v;
+}
+
+TEST(CircuitBdd, ScalesPastExhaustiveLimit) {
+  // 32 inputs is far beyond the 2^24 enumeration bound but easy for BDDs on
+  // an adder-like structure; spot-check against Monte-Carlo.
+  const Aig mult = data::gen_multiplier(4);  // 8 inputs... use bigger:
+  util::Rng rng(2);
+  const Aig a = netlist::to_aig(data::gen_epfl_like(rng));
+  if (a.num_inputs() < 25) GTEST_SKIP() << "generator drew a small circuit";
+  const auto symbolic = exact_probabilities(a, 1U << 20);
+  if (!symbolic.has_value()) GTEST_SKIP() << "BDD blew up (order-dependent)";
+  const auto mc = sim::aig_probabilities(a, 200000, 3);
+  double max_err = 0.0;
+  for (Var v = 1; v < a.num_vars(); ++v)
+    max_err = std::max(max_err, std::abs((*symbolic)[v] - mc[v]));
+  EXPECT_LT(max_err, 0.02);  // MC noise only
+}
+
+TEST(CircuitBdd, EquivalenceOfOptimizedCircuits) {
+  // Formal check of the synthesis invariant, not just simulation.
+  util::Rng rng(3);
+  for (const auto& family : data::family_names()) {
+    const Aig raw = netlist::to_aig(data::generate_family(family, rng));
+    if (raw.num_inputs() > 48) continue;
+    const Aig opt = synth::optimize(raw);
+    const auto eq = check_equivalence(raw, opt, 1U << 20);
+    if (!eq.has_value()) continue;  // undecided (node limit), not a failure
+    EXPECT_TRUE(*eq) << family;
+  }
+}
+
+TEST(CircuitBdd, DetectsInequivalence) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(a.add_and(x, y));
+
+  Aig b;
+  const Lit x2 = make_lit(b.add_input(), false);
+  const Lit y2 = make_lit(b.add_input(), false);
+  b.add_output(b.make_or(x2, y2));
+
+  const auto eq = check_equivalence(a, b);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(CircuitBdd, InterfaceMismatchIsInequivalent) {
+  Aig a;
+  (void)a.add_input();
+  a.add_output(make_lit(a.inputs()[0], false));
+  Aig b;
+  (void)b.add_input();
+  (void)b.add_input();
+  b.add_output(make_lit(b.inputs()[0], false));
+  const auto eq = check_equivalence(a, b);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(CircuitBdd, MultiplierEquivalentToSquarerOnSharedOperand) {
+  // squarer(x) == multiplier(x, x): tie the multiplier's two operands
+  // together and check formal equivalence against the squarer.
+  const int bits = 6;
+  const Aig squarer = data::gen_squarer(bits);
+  const Aig mult = data::gen_multiplier(bits);
+  // Build multiplier-with-tied-operands as a new AIG.
+  Aig tied;
+  std::vector<Lit> xin;
+  for (int i = 0; i < bits; ++i) xin.push_back(make_lit(tied.add_input(), false));
+  // Re-express mult over tied inputs: map mult input j (j<bits -> x_j,
+  // j>=bits -> x_{j-bits}).
+  std::vector<Lit> map(mult.num_vars(), kLitFalse);
+  for (std::size_t j = 0; j < mult.num_inputs(); ++j)
+    map[mult.inputs()[j]] = xin[j % static_cast<std::size_t>(bits)];
+  for (Var v = 0; v < mult.num_vars(); ++v) {
+    if (!mult.is_and(v)) continue;
+    const Lit f0 = map[lit_var(mult.fanin0(v))] ^ (mult.fanin0(v) & 1U);
+    const Lit f1 = map[lit_var(mult.fanin1(v))] ^ (mult.fanin1(v) & 1U);
+    map[v] = tied.add_and(f0, f1);
+  }
+  for (Lit o : mult.outputs()) tied.add_output(map[lit_var(o)] ^ (o & 1U));
+
+  const auto eq = check_equivalence(squarer, tied);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(CircuitBdd, NodeLimitReturnsNullopt) {
+  // A 16-bit multiplier's output BDDs are intractably large.
+  const Aig mult = data::gen_multiplier(16);
+  EXPECT_FALSE(exact_probabilities(mult, /*node_limit=*/4096).has_value());
+}
+
+}  // namespace
+}  // namespace dg::bdd

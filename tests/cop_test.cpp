@@ -1,0 +1,94 @@
+#include "analysis/cop.hpp"
+
+#include "aig/gate_graph.hpp"
+#include "sim/probability.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dg::analysis {
+namespace {
+
+using namespace dg::aig;
+
+TEST(Cop, ExactOnFanoutFreeTree) {
+  // On a tree (no reconvergence) COP equals the exact probability.
+  Aig a;
+  std::vector<Lit> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(make_lit(a.add_input(), false));
+  const Lit left = a.add_and(ins[0], lit_not(ins[1]));
+  const Lit right = a.add_and(ins[2], ins[3]);
+  const Lit top = a.add_and(lit_not(left), right);
+  a.add_output(top);
+  const auto exact = sim::exact_aig_probabilities(a);
+  const auto cop = cop_aig_probabilities(a);
+  for (Var v = 1; v < a.num_vars(); ++v) EXPECT_NEAR(cop[v], exact[v], 1e-12);
+}
+
+TEST(Cop, WrongUnderReconvergence) {
+  // f = x & !x (via explicit sharing) is exactly 0 but COP says 0.25.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  const Lit n2 = a.add_and(lit_not(x), y);
+  const Lit f = a.add_and(n1, n2);  // always 0, but no local rule proves it
+  a.add_output(f);
+  const auto cop = cop_aig_probabilities(a);
+  const auto exact = sim::exact_aig_probabilities(a);
+  EXPECT_DOUBLE_EQ(exact[lit_var(f)], 0.0);
+  EXPECT_GT(cop[lit_var(f)], 0.05);  // independence assumption overestimates
+}
+
+TEST(Cop, GateGraphMatchesAigVersion) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit f = a.make_or(a.add_and(x, y), lit_not(y));
+  a.add_output(f);
+  const GateGraph g = to_gate_graph(a);
+  const auto cop_g = cop_probabilities(g);
+  const auto cop_a = cop_aig_probabilities(a);
+  // Compare on outputs.
+  double pa = cop_a[lit_var(f)];
+  if (lit_neg(f)) pa = 1.0 - pa;
+  EXPECT_NEAR(cop_g[static_cast<std::size_t>(g.outputs[0])], pa, 1e-12);
+}
+
+TEST(Cop, NetlistGateFormulas) {
+  using netlist::GateType;
+  netlist::Netlist nl;
+  const int a = nl.add_input();
+  const int b = nl.add_input();
+  const int c = nl.add_input();
+  const int and3 = nl.add_gate(GateType::kAnd, {a, b, c});
+  const int or2 = nl.add_gate(GateType::kOr, {a, b});
+  const int xor3 = nl.add_gate(GateType::kXor, {a, b, c});
+  const int nand2 = nl.add_gate(GateType::kNand, {a, b});
+  nl.mark_output(and3);
+  const auto p = cop_netlist_probabilities(nl);
+  EXPECT_NEAR(p[static_cast<std::size_t>(and3)], 0.125, 1e-12);
+  EXPECT_NEAR(p[static_cast<std::size_t>(or2)], 0.75, 1e-12);
+  EXPECT_NEAR(p[static_cast<std::size_t>(xor3)], 0.5, 1e-12);
+  EXPECT_NEAR(p[static_cast<std::size_t>(nand2)], 0.75, 1e-12);
+}
+
+TEST(Cop, ProbabilitiesInUnitInterval) {
+  Aig a;
+  std::vector<Lit> pool;
+  for (int i = 0; i < 5; ++i) pool.push_back(make_lit(a.add_input(), false));
+  for (int i = 0; i < 30; ++i) {
+    const Lit p = pool[static_cast<std::size_t>(i) % pool.size()];
+    const Lit q = pool[(static_cast<std::size_t>(i) * 7 + 1) % pool.size()];
+    if (p != q && p != lit_not(q)) pool.push_back(a.add_and(p, lit_not(q)));
+  }
+  a.add_output(pool.back());
+  for (double p : cop_aig_probabilities(a)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dg::analysis

@@ -1,0 +1,121 @@
+#include "data/dataset.hpp"
+
+#include "data/generators_large.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dg::data {
+namespace {
+
+DatasetConfig tiny_config() {
+  DatasetConfig cfg = default_dataset_config(util::BenchScale::kTiny, 3);
+  cfg.sim_patterns = 5000;
+  return cfg;
+}
+
+TEST(Dataset, BuildsAllFamilies) {
+  const Dataset ds = build_dataset(tiny_config());
+  EXPECT_GE(ds.graphs.size(), 16U);
+  ASSERT_EQ(ds.graphs.size(), ds.info.size());
+  std::set<std::string> families;
+  for (const auto& info : ds.info) families.insert(info.family);
+  EXPECT_EQ(families.size(), 4U);
+}
+
+TEST(Dataset, LabelsAreProbabilities) {
+  const Dataset ds = build_dataset(tiny_config());
+  for (const auto& g : ds.graphs) {
+    ASSERT_EQ(static_cast<int>(g.labels.size()), g.num_nodes);
+    for (float label : g.labels) {
+      EXPECT_GE(label, 0.0F);
+      EXPECT_LE(label, 1.0F);
+    }
+  }
+}
+
+TEST(Dataset, PiLabelsNearHalf) {
+  // Primary inputs see uniform random patterns: p ~ 0.5.
+  const Dataset ds = build_dataset(tiny_config());
+  for (const auto& g : ds.graphs) {
+    for (int v = 0; v < g.num_nodes; ++v) {
+      if (g.type_id[static_cast<std::size_t>(v)] == 0)  // PI
+        EXPECT_NEAR(g.labels[static_cast<std::size_t>(v)], 0.5F, 0.05F);
+    }
+  }
+}
+
+TEST(Dataset, SplitIsDisjointAndComplete) {
+  const Dataset ds = build_dataset(tiny_config());
+  std::vector<gnn::CircuitGraph> train, test;
+  ds.split(0.9, 11, train, test);
+  EXPECT_EQ(train.size() + test.size(), ds.graphs.size());
+  EXPECT_GE(test.size(), 1U);
+  EXPECT_GT(train.size(), test.size());
+}
+
+TEST(Dataset, SplitDeterministicForSeed) {
+  const Dataset ds = build_dataset(tiny_config());
+  std::vector<gnn::CircuitGraph> tr1, te1, tr2, te2;
+  ds.split(0.9, 11, tr1, te1);
+  ds.split(0.9, 11, tr2, te2);
+  ASSERT_EQ(te1.size(), te2.size());
+  for (std::size_t i = 0; i < te1.size(); ++i)
+    EXPECT_EQ(te1[i].num_nodes, te2[i].num_nodes);
+}
+
+TEST(Dataset, StatsCoverTableOneColumns) {
+  const Dataset ds = build_dataset(tiny_config());
+  const auto stats = dataset_stats(ds);
+  ASSERT_EQ(stats.size(), 4U);
+  EXPECT_EQ(stats[0].family, "EPFL");
+  EXPECT_EQ(stats[1].family, "ITC99");
+  for (const auto& s : stats) {
+    EXPECT_GT(s.count, 0U);
+    EXPECT_LE(s.min_nodes, s.max_nodes);
+    EXPECT_LE(s.min_level, s.max_level);
+    EXPECT_GE(s.min_nodes, 36U);   // paper envelope
+    EXPECT_LE(s.max_nodes, 3214U);
+    EXPECT_GE(s.min_level, 3);
+    EXPECT_LE(s.max_level, 24);
+  }
+}
+
+TEST(Dataset, PairedDatasetAligned) {
+  const PairedDataset pd = build_paired_dataset("EPFL", 4, 5000, 17);
+  EXPECT_EQ(pd.raw.size(), pd.aig.size());
+  EXPECT_GE(pd.raw.size(), 2U);
+  for (std::size_t i = 0; i < pd.raw.size(); ++i) {
+    EXPECT_EQ(pd.raw[i].num_types, 9);
+    EXPECT_EQ(pd.aig[i].num_types, 3);
+    EXPECT_GT(pd.raw[i].num_nodes, 0);
+    EXPECT_GT(pd.aig[i].num_nodes, 0);
+  }
+}
+
+TEST(Dataset, GraphFromAigHandlesConstantOutputs) {
+  // gen_squarer produces an identically-zero output bit; graph_from_aig must
+  // cope by dropping it rather than throwing.
+  const auto g = graph_from_aig(gen_squarer(12), 2000, 5);
+  EXPECT_GT(g.num_nodes, 100);
+  EXPECT_EQ(g.num_types, 3);
+}
+
+TEST(Dataset, DefaultConfigScalesWithBenchScale) {
+  const auto tiny = default_dataset_config(util::BenchScale::kTiny, 1);
+  const auto small = default_dataset_config(util::BenchScale::kSmall, 1);
+  const auto paper = default_dataset_config(util::BenchScale::kPaper, 1);
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_LE(tiny.families[f].num_subcircuits, small.families[f].num_subcircuits);
+    EXPECT_LE(small.families[f].num_subcircuits, paper.families[f].num_subcircuits);
+  }
+  // Paper scale reproduces Table I counts exactly.
+  EXPECT_EQ(paper.families[0].num_subcircuits, 828U);
+  EXPECT_EQ(paper.families[1].num_subcircuits, 7560U);
+  EXPECT_EQ(paper.families[2].num_subcircuits, 1281U);
+  EXPECT_EQ(paper.families[3].num_subcircuits, 1155U);
+}
+
+}  // namespace
+}  // namespace dg::data

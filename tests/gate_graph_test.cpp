@@ -1,0 +1,107 @@
+#include "aig/gate_graph.hpp"
+
+#include "sim/bitsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::aig {
+namespace {
+
+Aig nand_circuit() {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(lit_not(a.add_and(x, y)));
+  return a;
+}
+
+TEST(GateGraph, ExpandsInverterAsNode) {
+  const GateGraph g = to_gate_graph(nand_circuit());
+  // 2 PI + 1 AND + 1 NOT
+  EXPECT_EQ(g.size(), 4U);
+  const auto counts = g.kind_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(GateKind::kPi)], 2U);
+  EXPECT_EQ(counts[static_cast<std::size_t>(GateKind::kAnd)], 1U);
+  EXPECT_EQ(counts[static_cast<std::size_t>(GateKind::kNot)], 1U);
+  // Output is the NOT node.
+  ASSERT_EQ(g.outputs.size(), 1U);
+  EXPECT_EQ(g.kind[static_cast<std::size_t>(g.outputs[0])], GateKind::kNot);
+}
+
+TEST(GateGraph, SharedInverter) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  // !x used by two ANDs -> only one NOT node should be created.
+  a.add_output(a.add_and(lit_not(x), y));
+  a.add_output(a.add_and(lit_not(x), z));
+  const GateGraph g = to_gate_graph(a);
+  EXPECT_EQ(g.kind_counts()[static_cast<std::size_t>(GateKind::kNot)], 1U);
+}
+
+TEST(GateGraph, LevelsCountInverters) {
+  // x & !y: NOT sits on level 1, AND on level 2.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(a.add_and(x, lit_not(y)));
+  const GateGraph g = to_gate_graph(a);
+  EXPECT_EQ(g.num_levels, 3);
+}
+
+TEST(GateGraph, TopologicalIds) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  a.add_output(a.add_and(n1, lit_not(x)));
+  const GateGraph g = to_gate_graph(a);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (int s = 0; s < 2; ++s) {
+      if (g.fanin[v][s] >= 0) EXPECT_LT(g.fanin[v][s], static_cast<int>(v));
+    }
+  }
+}
+
+TEST(GateGraph, FanoutsConsistentWithFanins) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  a.add_output(a.add_and(n1, x));
+  const GateGraph g = to_gate_graph(a);
+  const auto fo = g.fanouts();
+  std::size_t fanin_edges = 0, fanout_edges = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    fanin_edges += static_cast<std::size_t>(g.fanin_count(static_cast<int>(v)));
+    fanout_edges += fo[v].size();
+  }
+  EXPECT_EQ(fanin_edges, fanout_edges);
+}
+
+TEST(GateGraph, RejectsConstants) {
+  Aig a;
+  (void)a.add_input();
+  a.add_output(kLitTrue);
+  EXPECT_THROW(to_gate_graph(a), std::invalid_argument);
+}
+
+TEST(GateGraph, SimulationMatchesAig) {
+  // Explicit-gate simulation must agree with complemented-edge simulation.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit f = a.make_mux(x, a.make_xor(y, z), lit_not(a.make_or(y, z)));
+  a.add_output(f);
+  const GateGraph g = to_gate_graph(a);
+
+  const std::vector<std::uint64_t> patterns{0xF0F0ULL, 0xCCCCULL, 0xAAAAULL};
+  const auto aw = sim::simulate_aig(a, patterns);
+  const auto gw = sim::simulate_gate_graph(g, patterns);
+  EXPECT_EQ(sim::lit_word(aw, f), gw[static_cast<std::size_t>(g.outputs[0])]);
+}
+
+}  // namespace
+}  // namespace dg::aig

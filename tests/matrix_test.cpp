@@ -1,0 +1,61 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5F);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6U);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(m.at(r, c), 1.5F);
+}
+
+TEST(Matrix, ZerosAndFull) {
+  const Matrix z = Matrix::zeros(3, 3);
+  EXPECT_FLOAT_EQ(z.at(2, 2), 0.0F);
+  const Matrix f = Matrix::full(1, 4, -2.0F);
+  EXPECT_FLOAT_EQ(f.at(0, 3), -2.0F);
+}
+
+TEST(Matrix, FromVectorRowMajor) {
+  const Matrix m = Matrix::from_vector(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 4);
+}
+
+TEST(Matrix, RowPtrIsContiguous) {
+  Matrix m(3, 4);
+  m.at(1, 0) = 7.0F;
+  m.at(1, 3) = 9.0F;
+  const float* row = m.row_ptr(1);
+  EXPECT_FLOAT_EQ(row[0], 7.0F);
+  EXPECT_FLOAT_EQ(row[3], 9.0F);
+}
+
+TEST(Matrix, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).same_shape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).same_shape(Matrix(3, 2)));
+}
+
+TEST(Matrix, ResizeZeroResets) {
+  Matrix m(2, 2, 5.0F);
+  m.resize_zero(3, 1);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 1);
+  EXPECT_FLOAT_EQ(m.at(2, 0), 0.0F);
+}
+
+TEST(Matrix, EmptyDefault) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+}
+
+}  // namespace
+}  // namespace dg::nn

@@ -1,0 +1,224 @@
+#include "gnn/models.hpp"
+
+#include "aig/gate_graph.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/ops.hpp"
+#include "sim/probability.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dg::gnn {
+namespace {
+
+using namespace dg::aig;
+
+CircuitGraph small_graph() {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, lit_not(y));
+  const Lit n2 = a.add_and(x, z);
+  a.add_output(a.add_and(n1, n2));
+  a.add_output(lit_not(n1));
+  const GateGraph g = to_gate_graph(a);
+  return CircuitGraph::from_gate_graph(g, sim::exact_gate_graph_probabilities(g));
+}
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.dim = 8;
+  cfg.iterations = 3;
+  cfg.mlp_hidden = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+struct SpecCase {
+  ModelSpec spec;
+  const char* label;
+};
+
+class ModelSweep : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(ModelSweep, PredictionShapeAndRange) {
+  const CircuitGraph g = small_graph();
+  auto model = make_model(GetParam().spec, tiny_config());
+  nn::NoGradGuard no_grad;
+  const nn::Tensor pred = model->predict(g);
+  ASSERT_EQ(pred.rows(), g.num_nodes);
+  ASSERT_EQ(pred.cols(), 1);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    EXPECT_GE(pred.value().at(v, 0), 0.0F);
+    EXPECT_LE(pred.value().at(v, 0), 1.0F);
+  }
+}
+
+TEST_P(ModelSweep, DeterministicForward) {
+  const CircuitGraph g = small_graph();
+  auto model = make_model(GetParam().spec, tiny_config());
+  nn::NoGradGuard no_grad;
+  const nn::Tensor p1 = model->predict(g);
+  const nn::Tensor p2 = model->predict(g);
+  for (int v = 0; v < g.num_nodes; ++v)
+    EXPECT_FLOAT_EQ(p1.value().at(v, 0), p2.value().at(v, 0));
+}
+
+TEST_P(ModelSweep, ParametersAreNamedUniquely) {
+  auto model = make_model(GetParam().spec, tiny_config());
+  const auto params = model->named_params();
+  EXPECT_GE(params.size(), 4U);
+  std::set<std::string> names;
+  for (const auto& [name, t] : params) EXPECT_TRUE(names.insert(name).second) << name;
+}
+
+TEST_P(ModelSweep, LossGradientReachesMostParameters) {
+  const CircuitGraph g = small_graph();
+  auto model = make_model(GetParam().spec, tiny_config());
+  const nn::Tensor pred = model->predict(g);
+  const nn::Matrix target =
+      nn::Matrix::from_vector(g.num_nodes, 1, std::vector<float>(g.labels));
+  nn::l1_loss(pred, target).backward();
+  std::size_t with_grad = 0, total = 0;
+  for (const auto& [name, t] : model->named_params()) {
+    // Skip-edge PE weights legitimately receive no gradient in models that
+    // never see skip edges (GCN, DAG-Conv, DeepGate w/o SC).
+    if (name.find(".agg.pe") != std::string::npos) continue;
+    ++total;
+    with_grad += t.has_grad();
+  }
+  EXPECT_EQ(with_grad, total) << GetParam().label;
+}
+
+TEST_P(ModelSweep, EmbeddingsHaveConfiguredWidth) {
+  const CircuitGraph g = small_graph();
+  auto model = make_model(GetParam().spec, tiny_config());
+  nn::NoGradGuard no_grad;
+  const nn::Tensor emb = model->embed(g);
+  EXPECT_EQ(emb.rows(), g.num_nodes);
+  EXPECT_EQ(emb.cols(), tiny_config().dim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ModelSweep,
+    ::testing::Values(
+        SpecCase{{ModelFamily::kGcn, AggKind::kConvSum, false}, "gcn-convsum"},
+        SpecCase{{ModelFamily::kGcn, AggKind::kAttention, false}, "gcn-attn"},
+        SpecCase{{ModelFamily::kDagConv, AggKind::kDeepSet, false}, "conv-deepset"},
+        SpecCase{{ModelFamily::kDagConv, AggKind::kGatedSum, false}, "conv-gated"},
+        SpecCase{{ModelFamily::kDagRec, AggKind::kConvSum, false}, "rec-convsum"},
+        SpecCase{{ModelFamily::kDagRec, AggKind::kDeepSet, false}, "rec-deepset"},
+        SpecCase{{ModelFamily::kDeepGate, AggKind::kAttention, false}, "deepgate-nosc"},
+        SpecCase{{ModelFamily::kDeepGate, AggKind::kAttention, true}, "deepgate-sc"}),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      std::string label = info.param.label;
+      for (auto& c : label)
+        if (c == '-') c = '_';
+      return label;
+    });
+
+TEST(DeepGate, SkipConnectionChangesPrediction) {
+  const CircuitGraph g = small_graph();
+  ASSERT_FALSE(g.skip_edges.empty());
+  ModelConfig cfg = tiny_config();
+  ModelSpec with{ModelFamily::kDeepGate, AggKind::kAttention, true};
+  ModelSpec without{ModelFamily::kDeepGate, AggKind::kAttention, false};
+  nn::NoGradGuard no_grad;
+  const auto p_with = make_model(with, cfg)->predict(g);
+  const auto p_without = make_model(without, cfg)->predict(g);
+  float diff = 0.0F;
+  for (int v = 0; v < g.num_nodes; ++v)
+    diff += std::abs(p_with.value().at(v, 0) - p_without.value().at(v, 0));
+  EXPECT_GT(diff, 1e-6F);
+}
+
+TEST(DeepGate, IterationOverrideChangesResult) {
+  const CircuitGraph g = small_graph();
+  auto model = make_deepgate(tiny_config());
+  nn::NoGradGuard no_grad;
+  const auto p1 = model->predict_iterations(g, 1);
+  const auto p8 = model->predict_iterations(g, 8);
+  float diff = 0.0F;
+  for (int v = 0; v < g.num_nodes; ++v)
+    diff += std::abs(p1.value().at(v, 0) - p8.value().at(v, 0));
+  EXPECT_GT(diff, 1e-6F);
+}
+
+TEST(DeepGate, GradcheckThroughWholeModel) {
+  // End-to-end finite-difference check of a full DeepGate forward (small
+  // dims; checks a sample of parameters).
+  const CircuitGraph g = small_graph();
+  ModelConfig cfg;
+  cfg.dim = 4;
+  cfg.iterations = 2;
+  cfg.mlp_hidden = 4;
+  cfg.seed = 3;
+  cfg.use_skip = true;
+  auto model = make_deepgate(cfg);
+  const nn::Matrix target =
+      nn::Matrix::from_vector(g.num_nodes, 1, std::vector<float>(g.labels));
+
+  auto params = model->named_params();
+  std::vector<nn::Tensor> sample;
+  for (const auto& [name, t] : params) {
+    if (name.find(".gru.wz") != std::string::npos ||
+        name.find(".agg.q") != std::string::npos ||
+        name.find("head1.l0.w") != std::string::npos)
+      sample.push_back(t);
+  }
+  ASSERT_GE(sample.size(), 3U);
+  const auto res = nn::gradcheck(
+      [&] { return nn::mse_loss(model->predict(g), target); }, sample, 1e-2F, 8e-2F);
+  EXPECT_TRUE(res.ok) << "rel=" << res.max_rel_err << " abs=" << res.max_abs_err;
+}
+
+TEST(Models, FamilyNames) {
+  EXPECT_STREQ(model_family_name(ModelFamily::kGcn), "GCN");
+  EXPECT_STREQ(model_family_name(ModelFamily::kDeepGate), "DeepGate");
+  ModelSpec spec{ModelFamily::kDeepGate, AggKind::kAttention, true};
+  EXPECT_EQ(model_spec_label(spec), "DeepGate / Attention w/ SC");
+}
+
+TEST(Models, SeedControlsInitialization) {
+  const CircuitGraph g = small_graph();
+  ModelConfig a = tiny_config();
+  ModelConfig b = tiny_config();
+  b.seed = 99;
+  nn::NoGradGuard no_grad;
+  const auto pa = make_deepgate(a)->predict(g);
+  const auto pb = make_deepgate(b)->predict(g);
+  float diff = 0.0F;
+  for (int v = 0; v < g.num_nodes; ++v)
+    diff += std::abs(pa.value().at(v, 0) - pb.value().at(v, 0));
+  EXPECT_GT(diff, 1e-6F);
+}
+
+TEST(Models, RawNetlistGraphSupported) {
+  // 9-type graphs (Table IV w/o transformation) must run through every
+  // family without shape errors.
+  netlist::Netlist nl;
+  const int a = nl.add_input();
+  const int b = nl.add_input();
+  const int x = nl.add_gate(netlist::GateType::kXor, {a, b});
+  const int n = nl.add_gate(netlist::GateType::kNand, {a, x});
+  nl.mark_output(n);
+  const auto labels = sim::netlist_probabilities(nl, 5000, 1);
+  const CircuitGraph g = CircuitGraph::from_netlist(nl, labels);
+
+  ModelConfig cfg = tiny_config();
+  cfg.num_types = 9;
+  nn::NoGradGuard no_grad;
+  for (auto family : {ModelFamily::kGcn, ModelFamily::kDagConv, ModelFamily::kDagRec,
+                      ModelFamily::kDeepGate}) {
+    ModelSpec spec{family, AggKind::kConvSum, false};
+    if (family == ModelFamily::kDeepGate) spec.agg = AggKind::kAttention;
+    const auto pred = make_model(spec, cfg)->predict(g);
+    EXPECT_EQ(pred.rows(), g.num_nodes);
+  }
+}
+
+}  // namespace
+}  // namespace dg::gnn

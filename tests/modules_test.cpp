@@ -1,0 +1,160 @@
+#include "nn/gradcheck.hpp"
+#include "nn/gru.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "nn/ops.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dg::nn {
+namespace {
+
+TEST(Linear, ShapesAndBias) {
+  util::Rng rng(1);
+  Linear lin(3, 5, rng);
+  const Tensor x = constant(Matrix::zeros(2, 3));
+  const Tensor y = lin.forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 5);
+  // zero input -> bias only, and bias starts at zero
+  for (int c = 0; c < 5; ++c) EXPECT_FLOAT_EQ(y.value().at(0, c), 0.0F);
+}
+
+TEST(Linear, GradcheckThroughLayer) {
+  util::Rng rng(2);
+  Linear lin(4, 3, rng);
+  Tensor x = Tensor::leaf(normal(3, 4, 0.5F, rng), true);
+  NamedParams params;
+  lin.collect(params, "lin");
+  std::vector<Tensor> leaves{x};
+  for (auto& [n, t] : params) leaves.push_back(t);
+  EXPECT_TRUE(gradcheck([&] { return mean_all(tanh_t(lin.forward(x))); }, leaves).ok);
+}
+
+TEST(Linear, CollectNamesParameters) {
+  util::Rng rng(3);
+  Linear lin(2, 2, rng);
+  NamedParams params;
+  lin.collect(params, "layer0");
+  ASSERT_EQ(params.size(), 2U);
+  EXPECT_EQ(params[0].first, "layer0.w");
+  EXPECT_EQ(params[1].first, "layer0.b");
+}
+
+TEST(Mlp, HiddenReluOutputSigmoidBounds) {
+  util::Rng rng(4);
+  Mlp mlp({4, 8, 1}, OutputActivation::kSigmoid, rng);
+  const Tensor x = constant(normal(10, 4, 2.0F, rng));
+  const Tensor y = mlp.forward(x);
+  EXPECT_EQ(y.rows(), 10);
+  EXPECT_EQ(y.cols(), 1);
+  for (int r = 0; r < 10; ++r) {
+    EXPECT_GT(y.value().at(r, 0), 0.0F);
+    EXPECT_LT(y.value().at(r, 0), 1.0F);
+  }
+}
+
+TEST(Mlp, GradcheckThroughTwoLayers) {
+  util::Rng rng(5);
+  Mlp mlp({3, 5, 2}, OutputActivation::kNone, rng);
+  Tensor x = Tensor::leaf(normal(2, 3, 0.5F, rng), true);
+  NamedParams params;
+  mlp.collect(params, "mlp");
+  std::vector<Tensor> leaves{x};
+  for (auto& [n, t] : params) leaves.push_back(t);
+  EXPECT_TRUE(gradcheck([&] { return mean_all(mlp.forward(x)); }, leaves).ok);
+}
+
+TEST(Gru, StateStaysBounded) {
+  util::Rng rng(6);
+  GruCell gru(4, 6, rng);
+  Tensor h = constant(Matrix::zeros(3, 6));
+  const Tensor x = constant(normal(3, 4, 1.0F, rng));
+  for (int t = 0; t < 50; ++t) h = gru.forward(x, h);
+  for (std::size_t i = 0; i < h.value().size(); ++i) {
+    EXPECT_LT(std::abs(h.value().data()[i]), 1.0F + 1e-4F);  // tanh-bounded
+  }
+}
+
+TEST(Gru, IdentityWhenUpdateGateSaturates) {
+  // With z ~= 1 (huge positive bias on the update gate), h' ~= h.
+  util::Rng rng(7);
+  GruCell gru(2, 3, rng);
+  NamedParams params;
+  gru.collect(params, "gru");
+  for (auto& [name, t] : params) {
+    if (name == "gru.bz") t.mutable_value().fill(50.0F);
+  }
+  const Tensor x = constant(normal(2, 2, 1.0F, rng));
+  const Tensor h = constant(normal(2, 3, 1.0F, rng));
+  const Tensor h2 = gru.forward(x, h);
+  for (std::size_t i = 0; i < h.value().size(); ++i)
+    EXPECT_NEAR(h2.value().data()[i], h.value().data()[i], 1e-4F);
+}
+
+TEST(Gru, GradcheckThroughCell) {
+  util::Rng rng(8);
+  GruCell gru(3, 4, rng);
+  Tensor x = Tensor::leaf(normal(2, 3, 0.5F, rng), true);
+  Tensor h = Tensor::leaf(normal(2, 4, 0.5F, rng), true);
+  NamedParams params;
+  gru.collect(params, "gru");
+  std::vector<Tensor> leaves{x, h};
+  for (auto& [n, t] : params) leaves.push_back(t);
+  const auto res = gradcheck([&] { return mean_all(gru.forward(x, h)); }, leaves);
+  EXPECT_TRUE(res.ok) << "rel=" << res.max_rel_err;
+}
+
+TEST(Gru, GradcheckThroughRecurrence) {
+  // Three recurrent applications of the same cell — gradients must flow
+  // through shared parameters across time steps.
+  util::Rng rng(9);
+  GruCell gru(2, 3, rng);
+  Tensor x = Tensor::leaf(normal(2, 2, 0.5F, rng), true);
+  Tensor h0 = Tensor::leaf(normal(2, 3, 0.5F, rng), true);
+  NamedParams params;
+  gru.collect(params, "gru");
+  std::vector<Tensor> leaves{x, h0};
+  for (auto& [n, t] : params) leaves.push_back(t);
+  const auto res = gradcheck(
+      [&] {
+        Tensor h = h0;
+        for (int t = 0; t < 3; ++t) h = gru.forward(x, h);
+        return mean_all(h);
+      },
+      leaves);
+  EXPECT_TRUE(res.ok) << "rel=" << res.max_rel_err;
+}
+
+TEST(Init, XavierBounds) {
+  util::Rng rng(10);
+  const Matrix w = xavier_uniform(100, 50, rng);
+  const float bound = std::sqrt(6.0F / 150.0F);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), bound + 1e-6F);
+  }
+}
+
+TEST(Init, KaimingVariance) {
+  util::Rng rng(11);
+  const Matrix w = kaiming_normal(200, 100, rng);
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) sum_sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  const double var = sum_sq / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 200.0, 2e-3);
+}
+
+TEST(ParamUtils, CountAndFlatten) {
+  util::Rng rng(12);
+  Linear lin(3, 4, rng);
+  NamedParams params;
+  lin.collect(params, "l");
+  EXPECT_EQ(param_count(params), 3U * 4U + 4U);
+  EXPECT_EQ(param_tensors(params).size(), 2U);
+}
+
+}  // namespace
+}  // namespace dg::nn

@@ -1,0 +1,130 @@
+#include "nn/init.hpp"
+#include "nn/ops.hpp"
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dg::nn {
+namespace {
+
+// Quadratic bowl: minimize ||w - target||^2.
+float run_quadratic(Optimizer& opt, Tensor& w, const Matrix& target, int steps) {
+  float final_loss = 0.0F;
+  for (int s = 0; s < steps; ++s) {
+    opt.zero_grad();
+    Tensor loss = mse_loss(w, target);
+    loss.backward();
+    opt.step();
+    final_loss = loss.item();
+  }
+  return final_loss;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  util::Rng rng(1);
+  Tensor w = Tensor::leaf(normal(2, 3, 1.0F, rng), true);
+  const Matrix target = normal(2, 3, 1.0F, rng);
+  Sgd opt({w}, 0.2F);
+  const float loss = run_quadratic(opt, w, target, 200);
+  EXPECT_LT(loss, 1e-6F);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+  util::Rng rng(2);
+  const Matrix start = normal(2, 2, 1.0F, rng);
+  const Matrix target = normal(2, 2, 1.0F, rng);
+
+  Tensor w1 = Tensor::leaf(start, true);
+  Sgd plain({w1}, 0.05F);
+  const float plain_loss = run_quadratic(plain, w1, target, 60);
+
+  Tensor w2 = Tensor::leaf(start, true);
+  Sgd momentum({w2}, 0.05F, 0.9F);
+  const float momentum_loss = run_quadratic(momentum, w2, target, 60);
+
+  EXPECT_LT(momentum_loss, plain_loss);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  util::Rng rng(3);
+  Tensor w = Tensor::leaf(normal(3, 3, 1.0F, rng), true);
+  const Matrix target = normal(3, 3, 1.0F, rng);
+  Adam opt({w}, 0.05F);
+  const float loss = run_quadratic(opt, w, target, 400);
+  EXPECT_LT(loss, 1e-5F);
+}
+
+TEST(Adam, HandlesIllConditionedScales) {
+  // One coordinate's gradient is 1000x the other's; Adam's per-coordinate
+  // normalization should still drive both to the target.
+  Tensor w = Tensor::leaf(Matrix::from_vector(1, 2, {5.0F, 5.0F}), true);
+  Adam opt({w}, 0.1F);
+  for (int s = 0; s < 500; ++s) {
+    opt.zero_grad();
+    // loss = 1000*w0^2 + 0.001*w1^2 (gradients set manually for exactness)
+    Tensor loss = add(scale(mul(slice_cols(w, 0, 1), slice_cols(w, 0, 1)), 1000.0F),
+                      scale(mul(slice_cols(w, 1, 2), slice_cols(w, 1, 2)), 0.001F));
+    sum_all(loss).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.value().at(0, 0), 0.0F, 1e-2F);
+  EXPECT_NEAR(w.value().at(0, 1), 0.0F, 0.5F);  // slow coordinate still moves
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::leaf(Matrix::full(1, 1, 10.0F), true);
+  Adam opt({w}, 0.1F, 0.9F, 0.999F, 1e-8F, /*weight_decay=*/1.0F);
+  for (int s = 0; s < 100; ++s) {
+    opt.zero_grad();
+    // zero data loss: decay alone should shrink w
+    Tensor loss = scale(sum_all(w), 0.0F);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(std::abs(w.value().at(0, 0)), 5.0F);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Tensor w = Tensor::leaf(Matrix::full(1, 1, 1.0F), true);
+  Adam opt({w}, 0.1F);
+  sum_all(mul(w, w)).backward();
+  EXPECT_TRUE(w.has_grad());
+  opt.zero_grad();
+  EXPECT_FALSE(w.has_grad());
+}
+
+TEST(Optimizer, ClipGradNormScalesDown) {
+  Tensor w = Tensor::leaf(Matrix::from_vector(1, 2, {0.0F, 0.0F}), true);
+  Adam opt({w}, 0.1F);
+  opt.zero_grad();
+  Tensor loss = sum_all(scale(w, 30.0F));  // grad = (30, 30), norm ~ 42.4
+  loss.backward();
+  opt.clip_grad_norm(1.0F);
+  const float g0 = w.grad().at(0, 0);
+  const float g1 = w.grad().at(0, 1);
+  EXPECT_NEAR(std::sqrt(g0 * g0 + g1 * g1), 1.0F, 1e-4F);
+}
+
+TEST(Optimizer, ClipNoopBelowThreshold) {
+  Tensor w = Tensor::leaf(Matrix::from_vector(1, 1, {0.0F}), true);
+  Adam opt({w}, 0.1F);
+  sum_all(scale(w, 0.5F)).backward();
+  opt.clip_grad_norm(10.0F);
+  EXPECT_NEAR(w.grad().at(0, 0), 0.5F, 1e-6F);
+}
+
+TEST(Optimizer, SkipsParamsWithoutGrad) {
+  Tensor used = Tensor::leaf(Matrix::full(1, 1, 1.0F), true);
+  Tensor unused = Tensor::leaf(Matrix::full(1, 1, 1.0F), true);
+  Adam opt({used, unused}, 0.5F);
+  opt.zero_grad();
+  sum_all(mul(used, used)).backward();
+  opt.step();
+  EXPECT_NE(used.value().at(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(unused.value().at(0, 0), 1.0F);
+}
+
+}  // namespace
+}  // namespace dg::nn

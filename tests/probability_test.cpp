@@ -1,0 +1,160 @@
+// Signal-probability estimation: Monte-Carlo must converge to the exact
+// (exhaustive) values, which are themselves verified against hand-computed
+// probabilities on canonical structures.
+#include "sim/probability.hpp"
+
+#include "aig/gate_graph.hpp"
+#include "data/generators_small.hpp"
+#include "netlist/to_aig.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dg::sim {
+namespace {
+
+using namespace dg::aig;
+
+TEST(Probability, SingleAndGateExact) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit f = a.add_and(x, y);
+  a.add_output(f);
+  const auto p = exact_aig_probabilities(a);
+  EXPECT_DOUBLE_EQ(p[lit_var(x)], 0.5);
+  EXPECT_DOUBLE_EQ(p[lit_var(f)], 0.25);
+}
+
+TEST(Probability, XorIsHalf) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit f = a.make_xor(x, y);
+  a.add_output(f);
+  const auto p = exact_aig_probabilities(a);
+  EXPECT_DOUBLE_EQ(p[lit_var(f)], 0.5);
+}
+
+TEST(Probability, DeepAndChainHalves) {
+  // AND of k independent inputs has probability 2^-k.
+  Aig a;
+  std::vector<Lit> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(make_lit(a.add_input(), false));
+  const Lit f = a.make_and_n(ins);
+  a.add_output(f);
+  const auto p = exact_aig_probabilities(a);
+  EXPECT_DOUBLE_EQ(p[lit_var(f)], 1.0 / 32.0);
+}
+
+TEST(Probability, ReconvergenceBreaksIndependence) {
+  // f = x & !x through two paths would be 0.25 under independence but is
+  // exactly 0 — the paper's core motivation for simulation-based labels.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  const Lit n2 = a.add_and(lit_not(x), y);
+  // OR of two mutually exclusive terms: p = p1 + p2 exactly.
+  const Lit f = a.make_or(n1, n2);
+  a.add_output(f);
+  const auto p = exact_aig_probabilities(a);
+  EXPECT_DOUBLE_EQ(p[lit_var(f)], 0.5);  // = P(y)
+}
+
+TEST(Probability, MonteCarloConvergesToExact) {
+  // A 16-input random structure small enough for exhaustive enumeration.
+  util::Rng rng(5);
+  Aig a;
+  std::vector<Lit> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(make_lit(a.add_input(), false));
+  for (int i = 0; i < 60; ++i) {
+    const Lit p = pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    Lit q = pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    if (rng.next_bool()) q = lit_not(q);
+    const Lit n = a.add_and(p, q);
+    if (a.is_and(lit_var(n))) pool.push_back(n);
+  }
+  a.add_output(pool.back());
+  const auto exact = exact_aig_probabilities(a);
+  const auto mc = aig_probabilities(a, 200000, 99);
+  double max_err = 0.0;
+  for (std::size_t v = 0; v < exact.size(); ++v)
+    max_err = std::max(max_err, std::abs(exact[v] - mc[v]));
+  EXPECT_LT(max_err, 0.01);
+}
+
+TEST(Probability, MoreSamplesReduceError) {
+  Aig a;
+  std::vector<Lit> ins;
+  for (int i = 0; i < 10; ++i) ins.push_back(make_lit(a.add_input(), false));
+  a.add_output(a.make_and_n(ins));
+  const auto exact = exact_aig_probabilities(a);
+
+  auto rms = [&](std::size_t patterns) {
+    const auto mc = aig_probabilities(a, patterns, 7);
+    double acc = 0.0;
+    for (std::size_t v = 1; v < exact.size(); ++v) {
+      const double e = exact[v] - mc[v];
+      acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(exact.size() - 1));
+  };
+  EXPECT_LT(rms(100000), rms(1000) + 1e-12);
+}
+
+TEST(Probability, GateGraphLabelsMatchAig) {
+  util::Rng rng(6);
+  const Aig a = netlist::to_aig(data::gen_opencores_like(rng));
+  const GateGraph g = to_gate_graph(a);
+  const auto pa = aig_probabilities(a, 50000, 11);
+  const auto pg = gate_graph_probabilities(g, 50000, 11);
+  // Output nodes must match between representations (same seed & patterns).
+  for (std::size_t o = 0; o < a.num_outputs(); ++o) {
+    const Lit ol = a.outputs()[o];
+    double ap = pa[lit_var(ol)];
+    if (lit_neg(ol)) ap = 1.0 - ap;
+    EXPECT_NEAR(ap, pg[static_cast<std::size_t>(g.outputs[o])], 1e-12);
+  }
+}
+
+TEST(Probability, NetlistGateProbabilities) {
+  netlist::Netlist nl;
+  const int a = nl.add_input();
+  const int b = nl.add_input();
+  const int f = nl.add_gate(netlist::GateType::kNor, {a, b});
+  nl.mark_output(f);
+  const auto p = netlist_probabilities(nl, 100000, 3);
+  EXPECT_NEAR(p[static_cast<std::size_t>(f)], 0.25, 0.01);
+}
+
+TEST(Probability, ExhaustiveRejectsTooManyInputs) {
+  Aig a;
+  for (int i = 0; i < 25; ++i) (void)a.add_input();
+  a.add_output(make_lit(a.inputs()[0], false));
+  EXPECT_THROW(exact_aig_probabilities(a), std::invalid_argument);
+}
+
+TEST(Probability, PartialLastBlockHandled) {
+  // 70 patterns = one full word + 6 lanes; PI probability should still be
+  // close to 0.5 and, critically, never exceed 1.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  a.add_output(x);
+  const auto p = aig_probabilities(a, 70, 13);
+  EXPECT_GE(p[lit_var(x)], 0.0);
+  EXPECT_LE(p[lit_var(x)], 1.0);
+}
+
+TEST(Probability, DeterministicForSeed) {
+  util::Rng rng(8);
+  const Aig a = netlist::to_aig(data::gen_iwls_like(rng));
+  const auto p1 = aig_probabilities(a, 10000, 42);
+  const auto p2 = aig_probabilities(a, 10000, 42);
+  EXPECT_EQ(p1, p2);
+}
+
+}  // namespace
+}  // namespace dg::sim

@@ -1,0 +1,150 @@
+#include "analysis/reconvergence.hpp"
+
+#include "aig/gate_graph.hpp"
+#include "data/generators_small.hpp"
+#include "netlist/to_aig.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dg::analysis {
+namespace {
+
+using namespace dg::aig;
+
+GateGraph diamond() {
+  // x fans out to two ANDs which reconverge at the top:
+  //   n1 = x & y, n2 = x & z, top = n1 & n2
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  const Lit n2 = a.add_and(x, z);
+  a.add_output(a.add_and(n1, n2));
+  return to_gate_graph(a);
+}
+
+TEST(Reconvergence, DetectsDiamond) {
+  const GateGraph g = diamond();
+  const auto skips = find_reconvergences(g);
+  ASSERT_EQ(skips.size(), 1U);
+  // Source is the PI for x (node 0), destination the top AND (last node).
+  EXPECT_EQ(skips[0].src, 0);
+  EXPECT_EQ(skips[0].dst, static_cast<int>(g.size()) - 1);
+  EXPECT_EQ(skips[0].level_diff, 2);
+}
+
+TEST(Reconvergence, TreeHasNone) {
+  // A fanout-free AND tree has no reconvergence.
+  Aig a;
+  std::vector<Lit> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(make_lit(a.add_input(), false));
+  a.add_output(a.make_and_n(ins));
+  const auto skips = find_reconvergences(to_gate_graph(a));
+  EXPECT_TRUE(skips.empty());
+}
+
+TEST(Reconvergence, FanoutWithoutReconvergenceIsNotFlagged) {
+  // x feeds two ANDs that go to separate outputs — no meeting point.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  a.add_output(a.add_and(x, y));
+  a.add_output(a.add_and(x, z));
+  EXPECT_TRUE(find_reconvergences(to_gate_graph(a)).empty());
+}
+
+TEST(Reconvergence, XorStructureReconverges) {
+  // make_xor builds (!(a&b)) & (!(!a&!b)) — both a and b reconverge at top.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(a.make_xor(x, y));
+  ReconvergenceOptions opts;
+  opts.one_per_node = false;
+  const auto skips = find_reconvergences(to_gate_graph(a), opts);
+  EXPECT_GE(skips.size(), 2U);
+}
+
+TEST(Reconvergence, OnePerNodePicksNearest) {
+  // Two sources reconverge at the same node; nearest (higher level) wins.
+  //  s_far = x&y (level 2 in gate graph), s_near = s_far & z
+  //  branch1 = s_near & w1, branch2 = s_near & w2, top = branch1 & branch2
+  // both s_near and s_far reconverge at top; s_near is nearer.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit w1 = make_lit(a.add_input(), false);
+  const Lit w2 = make_lit(a.add_input(), false);
+  const Lit s_far = a.add_and(x, y);
+  const Lit s_near = a.add_and(s_far, z);
+  const Lit b1 = a.add_and(s_near, w1);
+  const Lit b2 = a.add_and(s_near, w2);
+  a.add_output(a.add_and(b1, b2));
+  // also make s_far a fanout stem by using it elsewhere
+  a.add_output(a.add_and(s_far, w1));
+
+  const GateGraph g = to_gate_graph(a);
+  ReconvergenceOptions opts;
+  opts.one_per_node = true;
+  const auto skips = find_reconvergences(g, opts);
+  // The top node must pair with the *nearest* reconverging source.
+  int top = -1;
+  for (const auto& e : skips) top = std::max(top, e.dst);
+  for (const auto& e : skips) {
+    if (e.dst == top) EXPECT_EQ(e.level_diff, 2);
+  }
+}
+
+TEST(Reconvergence, LevelDiffAlwaysPositive) {
+  util::Rng rng(5);
+  for (const auto& family : data::family_names()) {
+    const auto g = to_gate_graph(netlist::to_aig(data::generate_family(family, rng)));
+    for (const auto& e : find_reconvergences(g)) {
+      EXPECT_GE(e.level_diff, 2);
+      EXPECT_EQ(e.level_diff, g.level[static_cast<std::size_t>(e.dst)] -
+                                  g.level[static_cast<std::size_t>(e.src)]);
+      EXPECT_LT(e.src, e.dst);
+    }
+  }
+}
+
+TEST(Reconvergence, SourceCapBoundsMemory) {
+  util::Rng rng(6);
+  const auto g = to_gate_graph(netlist::to_aig(data::gen_iwls_like(rng)));
+  ReconvergenceOptions tight;
+  tight.max_sources_per_node = 4;
+  ReconvergenceOptions loose;
+  loose.max_sources_per_node = 1024;
+  const auto tight_skips = find_reconvergences(g, tight);
+  const auto loose_skips = find_reconvergences(g, loose);
+  // Capping may only *miss* reconvergences, never invent them.
+  EXPECT_LE(tight_skips.size(), loose_skips.size());
+}
+
+TEST(Reconvergence, WindowLimitsDistance) {
+  const GateGraph g = diamond();
+  ReconvergenceOptions opts;
+  opts.max_level_diff = 1;  // diamond needs diff 2
+  EXPECT_TRUE(find_reconvergences(g, opts).empty());
+}
+
+TEST(Reconvergence, DeterministicOutput) {
+  util::Rng rng(7);
+  const auto g = to_gate_graph(netlist::to_aig(data::gen_epfl_like(rng)));
+  const auto s1 = find_reconvergences(g);
+  const auto s2 = find_reconvergences(g);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].src, s2[i].src);
+    EXPECT_EQ(s1[i].dst, s2[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace dg::analysis

@@ -1,0 +1,101 @@
+#include "sim/bitsim.hpp"
+#include "sim/patterns.hpp"
+
+#include "aig/gate_graph.hpp"
+#include "data/generators_small.hpp"
+#include "netlist/to_aig.hpp"
+#include "util/rng.hpp"
+
+#include <bit>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dg::sim {
+namespace {
+
+using namespace dg::aig;
+
+TEST(Patterns, StripesEnumerateExhaustively) {
+  // For 3 inputs, the 8 low lanes must enumerate all 8 assignments exactly.
+  std::set<int> seen;
+  for (int lane = 0; lane < 8; ++lane) {
+    int assignment = 0;
+    for (std::size_t i = 0; i < 3; ++i)
+      if ((exhaustive_word(i, 0) >> lane) & 1) assignment |= 1 << i;
+    seen.insert(assignment);
+  }
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Patterns, HighInputsToggleAcrossBlocks) {
+  // Input 6 toggles every block, input 7 every two blocks.
+  EXPECT_EQ(exhaustive_word(6, 0), 0ULL);
+  EXPECT_EQ(exhaustive_word(6, 1), ~0ULL);
+  EXPECT_EQ(exhaustive_word(7, 0), 0ULL);
+  EXPECT_EQ(exhaustive_word(7, 1), 0ULL);
+  EXPECT_EQ(exhaustive_word(7, 2), ~0ULL);
+}
+
+TEST(Patterns, BlockCount) {
+  EXPECT_EQ(exhaustive_blocks(3), 1ULL);
+  EXPECT_EQ(exhaustive_blocks(6), 1ULL);
+  EXPECT_EQ(exhaustive_blocks(7), 2ULL);
+  EXPECT_EQ(exhaustive_blocks(10), 16ULL);
+}
+
+TEST(Patterns, LaneMask) {
+  EXPECT_EQ(lane_mask(64), ~0ULL);
+  EXPECT_EQ(lane_mask(1), 1ULL);
+  EXPECT_EQ(lane_mask(8), 0xFFULL);
+}
+
+TEST(BitSim, AndGateTruth) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit f = a.add_and(x, lit_not(y));
+  a.add_output(f);
+  const auto words = simulate_aig(a, {0xCULL, 0xAULL});
+  EXPECT_EQ(words[lit_var(f)] & 0xFULL, 0xCULL & ~0xAULL & 0xFULL);
+}
+
+TEST(BitSim, NetlistAgreesWithAigOnRandomCircuits) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto& families = data::family_names();
+    const auto nl =
+        data::generate_family(families[trial % families.size()], rng);
+    const Aig a = netlist::to_aig(nl);
+    std::vector<std::uint64_t> patterns(nl.inputs().size());
+    for (auto& p : patterns) p = rng.next_u64();
+    const auto nw = simulate_netlist(nl, patterns);
+    const auto aw = simulate_aig(a, patterns);
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o)
+      EXPECT_EQ(nw[static_cast<std::size_t>(nl.outputs()[o])],
+                lit_word(aw, a.outputs()[o]));
+  }
+}
+
+TEST(BitSim, GateGraphAgreesWithAig) {
+  util::Rng rng(4);
+  const Aig a = netlist::to_aig(data::gen_epfl_like(rng));
+  const GateGraph g = to_gate_graph(a);
+  std::vector<std::uint64_t> patterns(a.num_inputs());
+  for (auto& p : patterns) p = rng.next_u64();
+  const auto aw = simulate_aig(a, patterns);
+  const auto gw = simulate_gate_graph(g, patterns);
+  for (std::size_t o = 0; o < a.num_outputs(); ++o)
+    EXPECT_EQ(lit_word(aw, a.outputs()[o]), gw[static_cast<std::size_t>(g.outputs[o])]);
+}
+
+TEST(BitSim, ConstantZeroVarIsZero) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  a.add_output(x);
+  const auto words = simulate_aig(a, {0xFFULL});
+  EXPECT_EQ(words[0], 0ULL);  // var 0 = const false
+}
+
+}  // namespace
+}  // namespace dg::sim

@@ -1,0 +1,61 @@
+#include "analysis/stats.hpp"
+
+#include "aig/gate_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::analysis {
+namespace {
+
+using namespace dg::aig;
+
+TEST(Stats, CountsKindsAndDepth) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(lit_not(a.add_and(x, lit_not(y))));
+  const auto s = compute_stats(to_gate_graph(a));
+  EXPECT_EQ(s.num_pis, 2U);
+  EXPECT_EQ(s.num_ands, 1U);
+  EXPECT_EQ(s.num_nots, 2U);
+  EXPECT_EQ(s.num_nodes, 5U);
+  EXPECT_EQ(s.depth, 3);  // y -> NOT -> AND -> NOT
+}
+
+TEST(Stats, FanoutStems) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  a.add_output(a.add_and(x, y));
+  a.add_output(a.add_and(x, z));
+  const auto s = compute_stats(to_gate_graph(a));
+  EXPECT_EQ(s.num_fanout_stems, 1U);  // only x
+}
+
+TEST(Stats, ReconvergenceCount) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, y);
+  const Lit n2 = a.add_and(x, z);
+  a.add_output(a.add_and(n1, n2));
+  const auto s = compute_stats(to_gate_graph(a));
+  EXPECT_EQ(s.num_reconv_nodes, 1U);
+}
+
+TEST(Stats, AvgFanoutOfChain) {
+  // Chain x - n1 - n2: edges = 4 (x->n1, i1->n1, n1->n2, i2->n2), nodes = 5.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit i1 = make_lit(a.add_input(), false);
+  const Lit i2 = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and(x, i1);
+  a.add_output(a.add_and(n1, i2));
+  const auto s = compute_stats(to_gate_graph(a));
+  EXPECT_NEAR(s.avg_fanout, 4.0 / 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dg::analysis

@@ -1,0 +1,199 @@
+// Synthesis passes: the cardinal invariant is functional equivalence; the
+// useful property is node/depth reduction. Both are verified per pass and
+// for the whole optimize() pipeline over randomized netlists.
+#include "synth/balance.hpp"
+#include "synth/optimize.hpp"
+#include "synth/rewrite.hpp"
+#include "synth/sweep.hpp"
+
+#include "data/generators_small.hpp"
+#include "netlist/to_aig.hpp"
+#include "sim/bitsim.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::synth {
+namespace {
+
+using namespace dg::aig;
+
+void expect_equivalent(const Aig& a, const Aig& b, util::Rng& rng, int words = 4) {
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.num_outputs(), b.num_outputs());
+  for (int w = 0; w < words; ++w) {
+    std::vector<std::uint64_t> patterns(a.num_inputs());
+    for (auto& p : patterns) p = rng.next_u64();
+    const auto wa = sim::simulate_aig(a, patterns);
+    const auto wb = sim::simulate_aig(b, patterns);
+    for (std::size_t o = 0; o < a.num_outputs(); ++o)
+      ASSERT_EQ(sim::lit_word(wa, a.outputs()[o]), sim::lit_word(wb, b.outputs()[o]));
+  }
+}
+
+TEST(Sweep, RemovesDanglingLogic) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit used = a.add_and(x, y);
+  (void)a.add_and(x, lit_not(y));  // dangling
+  a.add_output(used);
+  const Aig swept = sweep(a);
+  EXPECT_EQ(swept.num_ands(), 1U);
+  util::Rng rng(1);
+  expect_equivalent(a, swept, rng);
+}
+
+TEST(Sweep, FoldsDuplicatesViaStrash) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit n1 = a.add_and_raw(x, y);
+  const Lit n2 = a.add_and_raw(x, y);  // structural duplicate
+  a.add_output(a.add_and_raw(n1, n2));  // AND of identical nodes
+  const Aig swept = sweep(a);
+  // n1 == n2 after strash, AND(n, n) == n after simplification.
+  EXPECT_EQ(swept.num_ands(), 1U);
+}
+
+TEST(Sweep, KeepsAllInputs) {
+  Aig a;
+  (void)a.add_input();
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(y);
+  const Aig swept = sweep(a);
+  EXPECT_EQ(swept.num_inputs(), 2U);  // unused input preserved (PI interface)
+}
+
+TEST(Rewrite, AbsorptionRule) {
+  // (x & y) & x == x & y
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit xy = a.add_and(x, y);
+  a.add_output(a.add_and_raw(xy, x));
+  const Aig rewritten = rewrite(a);
+  EXPECT_EQ(rewritten.num_ands(), 1U);
+  util::Rng rng(2);
+  expect_equivalent(a, rewritten, rng);
+}
+
+TEST(Rewrite, ContradictionRule) {
+  // (x & y) & !x == 0; as output literal this maps to constant.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit xy = a.add_and(x, y);
+  a.add_output(a.add_and_raw(xy, lit_not(x)));
+  const Aig rewritten = rewrite(a);
+  EXPECT_EQ(rewritten.outputs()[0], kLitFalse);
+}
+
+TEST(Rewrite, SubstitutionRule) {
+  // !(x & y) & !x == !x
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit nxy = lit_not(a.add_and(x, y));
+  a.add_output(a.add_and_raw(nxy, lit_not(x)));
+  const Aig rewritten = rewrite(a);
+  EXPECT_EQ(rewritten.num_ands(), 0U);
+  EXPECT_EQ(rewritten.outputs()[0], lit_not(make_lit(rewritten.inputs()[0], false)));
+}
+
+TEST(Rewrite, TwoAndContradiction) {
+  // (x & y) & (!x & z) == 0
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit left = a.add_and(x, y);
+  const Lit right = a.add_and(lit_not(x), z);
+  a.add_output(a.add_and_raw(left, right));
+  const Aig rewritten = rewrite(a);
+  EXPECT_EQ(rewritten.outputs()[0], kLitFalse);
+}
+
+TEST(Balance, ReducesChainDepth) {
+  // Left-leaning AND chain of 16 literals: depth 15 -> log2(16) = 4.
+  Aig a;
+  Lit acc = make_lit(a.add_input(), false);
+  std::vector<Lit> ins{acc};
+  for (int i = 0; i < 15; ++i) {
+    const Lit in = make_lit(a.add_input(), false);
+    ins.push_back(in);
+    acc = a.add_and(acc, in);
+  }
+  a.add_output(acc);
+  EXPECT_EQ(a.depth(), 15);
+  const Aig balanced = balance(a);
+  EXPECT_EQ(balanced.depth(), 4);
+  util::Rng rng(3);
+  expect_equivalent(a, balanced, rng);
+}
+
+TEST(Balance, HuffmanUsesArrivalTimes) {
+  // A deep subtree ANDed with two shallow inputs: the shallow pair should be
+  // combined first, keeping total depth = deep subtree depth + 1.
+  Aig a;
+  Lit deep = make_lit(a.add_input(), false);
+  for (int i = 0; i < 6; ++i) deep = a.add_and(deep, make_lit(a.add_input(), false));
+  const Lit s1 = make_lit(a.add_input(), false);
+  const Lit s2 = make_lit(a.add_input(), false);
+  a.add_output(a.add_and(a.add_and(deep, s1), s2));
+  const Aig balanced = balance(a);
+  EXPECT_LE(balanced.depth(), 4 + 1);
+  util::Rng rng(4);
+  expect_equivalent(a, balanced, rng);
+}
+
+TEST(Optimize, NeverIncreasesNodesOnRandomCircuits) {
+  util::Rng rng(5);
+  for (const auto& family : data::family_names()) {
+    const Aig raw = netlist::to_aig(data::generate_family(family, rng));
+    const Aig opt = optimize(raw);
+    EXPECT_LE(opt.num_ands(), raw.num_ands()) << family;
+  }
+}
+
+TEST(Optimize, PreservesFunctionOnRandomCircuits) {
+  util::Rng rng(6);
+  for (const auto& family : data::family_names()) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const Aig raw = netlist::to_aig(data::generate_family(family, rng));
+      const Aig opt = optimize(raw);
+      expect_equivalent(raw, opt, rng);
+    }
+  }
+}
+
+TEST(Optimize, RemovesRedundancy) {
+  // f = (x & y) | (x & y & z): second term is absorbed.
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  const Lit z = make_lit(a.add_input(), false);
+  const Lit xy = a.add_and(x, y);
+  const Lit xyz = a.add_and(xy, z);
+  a.add_output(a.make_or(xy, xyz));
+  const Aig opt = optimize(a);
+  EXPECT_LE(opt.num_ands(), 2U);
+  util::Rng rng(7);
+  expect_equivalent(a, opt, rng);
+}
+
+TEST(DropConstantOutputs, RemovesOnlyConstants) {
+  Aig a;
+  const Lit x = make_lit(a.add_input(), false);
+  const Lit y = make_lit(a.add_input(), false);
+  a.add_output(a.add_and(x, y), "real");
+  a.add_output(kLitTrue, "stuck1");
+  a.add_output(a.add_and(x, lit_not(x)), "stuck0");  // folds to const
+  const Aig cleaned = drop_constant_outputs(a);
+  EXPECT_EQ(cleaned.num_outputs(), 1U);
+  EXPECT_EQ(cleaned.output_name(0), "real");
+  EXPECT_FALSE(cleaned.uses_constants());
+}
+
+}  // namespace
+}  // namespace dg::synth

@@ -1,0 +1,81 @@
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dg::util {
+namespace {
+
+void benchmark_guard(double& v) { asm volatile("" : "+m"(v)); }
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Model", "Error"});
+  t.add_row({"GCN", "0.1386"});
+  t.add_row({"DeepGate", "0.0204"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("DeepGate"), std::string::npos);
+  // Every non-rule line should have the same width prefix alignment: the
+  // second column starts at the same offset in header and rows.
+  const auto header_pos = out.find("Error");
+  const auto row_pos = out.find("0.0204");
+  EXPECT_EQ(header_pos % (out.find('\n') + 1), row_pos % (out.find('\n') + 1));
+}
+
+TEST(TextTable, RuleSeparatesSections) {
+  TextTable t({"A"});
+  t.add_row({"x"});
+  t.add_rule();
+  t.add_row({"y"});
+  const std::string out = t.render();
+  // Header rule + explicit rule.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("---", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_GE(rules, 2);
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fmt_fixed(0.020401, 4), "0.0204");
+  EXPECT_EQ(fmt_fixed(1.0, 2), "1.00");
+}
+
+TEST(Format, KiloSuffix) {
+  EXPECT_EQ(fmt_kilo(999), "999");
+  EXPECT_EQ(fmt_kilo(23700), "23.7K");
+  EXPECT_EQ(fmt_kilo(47300), "47.3K");
+}
+
+TEST(Env, ScaleParsing) {
+  ::setenv("DEEPGATE_SCALE", "tiny", 1);
+  EXPECT_EQ(bench_scale(), BenchScale::kTiny);
+  ::setenv("DEEPGATE_SCALE", "paper", 1);
+  EXPECT_EQ(bench_scale(), BenchScale::kPaper);
+  ::setenv("DEEPGATE_SCALE", "bogus", 1);
+  EXPECT_EQ(bench_scale(), BenchScale::kSmall);
+  ::unsetenv("DEEPGATE_SCALE");
+  EXPECT_EQ(bench_scale(), BenchScale::kSmall);
+}
+
+TEST(Env, EpochOverride) {
+  ::unsetenv("DEEPGATE_EPOCHS");
+  EXPECT_EQ(env_epochs(12), 12);
+  ::setenv("DEEPGATE_EPOCHS", "3", 1);
+  EXPECT_EQ(env_epochs(12), 3);
+  ::unsetenv("DEEPGATE_EPOCHS");
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_guard(sink);
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace dg::util
