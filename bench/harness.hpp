@@ -1,8 +1,13 @@
 // Shared scaffolding for the table-reproduction harnesses. Every bench binary
 // runs standalone with defaults sized for a laptop CPU and honors:
-//   DEEPGATE_SCALE  = tiny | small | paper
-//   DEEPGATE_EPOCHS = <int>
-//   DEEPGATE_SEED   = <uint64>
+//   DEEPGATE_SCALE      = tiny | small | paper
+//   DEEPGATE_EPOCHS     = <int>
+//   DEEPGATE_SEED       = <uint64>
+//   DEEPGATE_THREADS    = <int>   (pool size used by kernels/sim/trainer)
+//   DEEPGATE_BENCH_JSON = <path>  (machine-readable result file for benches
+//                                  that call write_json_report — currently
+//                                  micro_parallel; the --json CLI flag takes
+//                                  precedence)
 #pragma once
 
 #include "data/dataset.hpp"
@@ -13,8 +18,12 @@
 #include "util/log.hpp"
 #include "util/table.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace bench {
 
@@ -27,6 +36,9 @@ struct Context {
 
   int batch_circuits = 4;
 
+  /// Where to write the machine-readable result (empty = don't).
+  std::string json_path;
+
   dg::gnn::TrainConfig train_config() const {
     dg::gnn::TrainConfig cfg;
     cfg.epochs = epochs;
@@ -37,13 +49,81 @@ struct Context {
   }
 };
 
+// -- Machine-readable output --------------------------------------------------
+
+/// One flat measurement record; rendered as a JSON object. Values are
+/// emitted verbatim, so use json_str() for anything that is not a number.
+struct JsonRecord {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  JsonRecord& num(const std::string& key, double v) {
+    char buf[64];
+    if (std::isfinite(v))
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+    else
+      std::snprintf(buf, sizeof(buf), "null");  // inf/nan are not legal JSON
+    fields.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRecord& str(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') {
+        quoted += '\\';
+        quoted += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char esc[8];
+        std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+        quoted += esc;
+      } else {
+        quoted += c;
+      }
+    }
+    quoted += '"';
+    fields.emplace_back(key, quoted);
+    return *this;
+  }
+};
+
+/// Write `{"bench": name, "scale": ..., "seed": ..., "results": [records]}`
+/// to ctx.json_path. No-op (returns true) when no path is configured.
+inline bool write_json_report(const Context& ctx, const std::string& name,
+                              const std::vector<JsonRecord>& records) {
+  if (ctx.json_path.empty()) return true;
+  std::ofstream out(ctx.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", ctx.json_path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << name << "\",\n  \"scale\": \""
+      << dg::util::bench_scale_name(ctx.scale) << "\",\n  \"seed\": " << ctx.seed
+      << ",\n  \"results\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {";
+    const auto& fields = records[i].fields;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f > 0) out << ", ";
+      out << '"' << fields[f].first << "\": " << fields[f].second;
+    }
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  return out.good();
+}
+
 /// Defaults per scale. At kPaper the hyperparameters follow Sec. IV-B
 /// (d=64, T=10, 60 epochs, lr 1e-4); smaller scales shrink width and epochs
 /// and heat up the learning rate so the relative comparisons still converge.
-inline Context make_context() {
+/// Pass argc/argv to honor `--json out.json`; DEEPGATE_BENCH_JSON is the
+/// fallback.
+inline Context make_context(int argc = 0, char** argv = nullptr) {
   Context ctx;
   ctx.scale = dg::util::bench_scale();
   ctx.seed = dg::util::env_seed(1);
+  if (const char* env_json = std::getenv("DEEPGATE_BENCH_JSON")) ctx.json_path = env_json;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") ctx.json_path = argv[i + 1];
   switch (ctx.scale) {
     case dg::util::BenchScale::kTiny:
       ctx.model.dim = 16;

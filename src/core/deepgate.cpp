@@ -5,6 +5,7 @@
 #include "nn/serialize.hpp"
 #include "sim/probability.hpp"
 #include "synth/optimize.hpp"
+#include "synth/sweep.hpp"
 
 namespace deepgate {
 
@@ -13,7 +14,11 @@ CircuitGraph prepare(const dg::netlist::Netlist& nl, std::size_t patterns, std::
 }
 
 CircuitGraph prepare(const dg::aig::Aig& aig, std::size_t patterns, std::uint64_t seed) {
-  const dg::aig::Aig optimized = dg::synth::optimize(aig);
+  dg::aig::Aig optimized = dg::synth::optimize(aig);
+  // Optimization can prove outputs constant (e.g. bit 1 of a squarer); the
+  // gate graph has no constant node, so those outputs must be dropped first —
+  // same guard the dataset pipeline applies.
+  if (optimized.uses_constants()) optimized = dg::synth::drop_constant_outputs(optimized);
   const dg::aig::GateGraph g = dg::aig::to_gate_graph(optimized);
   const auto labels = dg::sim::gate_graph_probabilities(g, patterns, seed);
   return CircuitGraph::from_gate_graph(g, labels);

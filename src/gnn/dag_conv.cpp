@@ -36,6 +36,12 @@ class DagConvModel final : public Model {
     return regressor_.forward(embed(g), g);
   }
 
+  std::unique_ptr<Model> clone() const override {
+    auto copy = std::make_unique<DagConvModel>(cfg_);
+    copy_params(*this, *copy);
+    return copy;
+  }
+
   void collect(nn::NamedParams& out, const std::string& prefix) const override {
     for (std::size_t l = 0; l < layers_.size(); ++l)
       layers_[l].collect(out, prefix + ".layer" + std::to_string(l));

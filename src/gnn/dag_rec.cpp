@@ -32,6 +32,12 @@ class RecurrentDagModel final : public Model {
     return embed_iterations(g, cfg_.iterations);
   }
 
+  std::unique_ptr<Model> clone() const override {
+    auto copy = std::make_unique<RecurrentDagModel>(cfg_, name_);
+    copy_params(*this, *copy);
+    return copy;
+  }
+
   Tensor embed_iterations(const CircuitGraph& g, int iterations) const {
     auto states = init_level_states(g, cfg_.dim, cfg_.random_h0, cfg_.seed);
     const auto x_lvl = level_onehot(g);

@@ -40,6 +40,12 @@ class GcnModel final : public Model {
     return regressor_.forward(embed(g), g);
   }
 
+  std::unique_ptr<Model> clone() const override {
+    auto copy = std::make_unique<GcnModel>(cfg_);
+    copy_params(*this, *copy);
+    return copy;
+  }
+
   void collect(nn::NamedParams& out, const std::string& prefix) const override {
     for (std::size_t l = 0; l < aggs_.size(); ++l) {
       aggs_[l]->collect(out, prefix + ".layer" + std::to_string(l) + ".agg");

@@ -5,10 +5,27 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace dg::gnn {
 
 using nn::Tensor;
+
+void copy_params(const nn::NamedParams& from, nn::NamedParams& to) {
+  if (from.size() != to.size())
+    throw std::invalid_argument("copy_params: model architectures differ");
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (from[i].first != to[i].first)
+      throw std::invalid_argument("copy_params: parameter mismatch at " + from[i].first);
+    to[i].second.mutable_value() = from[i].second.value();
+  }
+}
+
+void copy_params(const Model& src, Model& dst) {
+  const nn::NamedParams from = src.named_params();
+  nn::NamedParams to = dst.named_params();
+  copy_params(from, to);
+}
 
 Regressor::Regressor(int num_types, int dim, int hidden, util::Rng& rng) {
   heads_.reserve(static_cast<std::size_t>(num_types));

@@ -49,6 +49,12 @@ class Model {
   /// positions as the reusable artifact for downstream EDA tasks.
   virtual nn::Tensor embed(const CircuitGraph& g) const = 0;
 
+  /// Deep copy with identical architecture and current parameter values —
+  /// the replica factory for the data-parallel trainer: each pool worker
+  /// taping forward/backward needs its own parameter leaves so gradient
+  /// accumulation never races across threads.
+  virtual std::unique_ptr<Model> clone() const = 0;
+
   virtual void collect(nn::NamedParams& out, const std::string& prefix) const = 0;
   virtual const char* name() const = 0;
 
@@ -62,6 +68,14 @@ class Model {
  protected:
   ModelConfig cfg_;
 };
+
+/// Copy every parameter value of `src` into `dst`. Both models must have the
+/// same architecture (named_params aligned index by index).
+void copy_params(const Model& src, Model& dst);
+
+/// Same, on pre-walked parameter lists — for hot callers (the data-parallel
+/// trainer syncs replicas every batch) that hold the NamedParams already.
+void copy_params(const nn::NamedParams& from, nn::NamedParams& to);
 
 /// Per-type MLP regression heads with sigmoid output.
 class Regressor {

@@ -1,6 +1,13 @@
 // Training loop: ADAM + L1 regression of per-node signal probabilities
 // (Sec. III-C/IV-B), with per-circuit gradient accumulation and global-norm
 // clipping for stability at the small batch sizes of the CPU reproduction.
+//
+// Data-parallel across the circuits of a batch: each pool worker runs
+// forward/backward on its own model replica (Model::clone) and the replica
+// gradients are summed into the master in fixed replica order before the
+// optimizer step, so a given worker count always produces the same result.
+// threads == 1 bypasses the replica machinery entirely and reproduces the
+// original sequential trainer bit-exactly.
 #pragma once
 
 #include "gnn/model_common.hpp"
@@ -18,11 +25,13 @@ struct TrainConfig {
   float clip_norm = 5.0F;    ///< global-norm gradient clip (0 = off)
   std::uint64_t seed = 1;    ///< shuffling
   bool verbose = false;      ///< log per-epoch loss
+  int threads = 0;           ///< data-parallel workers; 0 = DEEPGATE_THREADS
 };
 
 struct TrainResult {
   std::vector<double> epoch_loss;  ///< mean training L1 per epoch
   double seconds = 0.0;
+  int threads_used = 1;            ///< resolved worker count
 };
 
 TrainResult train(Model& model, const std::vector<CircuitGraph>& train_set,

@@ -1,9 +1,46 @@
 #include "nn/kernels.hpp"
 
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 
 namespace dg::nn::kern {
+namespace {
+
+// Row-blocked parallelism: each output row (or flat element range) is written
+// by exactly one chunk with the same per-element accumulation order as the
+// serial loop, so results are bit-identical at every DEEPGATE_THREADS value.
+// The grain keeps small matrices (the per-level batches of shallow circuits)
+// on the calling thread where pool dispatch would dominate.
+constexpr std::int64_t kFlopGrain = 1 << 15;  // min useful flops per chunk
+constexpr std::int64_t kElemGrain = 1 << 15;  // min elements per chunk
+
+std::int64_t row_grain(std::int64_t flops_per_row) {
+  return kFlopGrain / std::max<std::int64_t>(1, flops_per_row) + 1;
+}
+
+/// Run body(i0, i1) over row blocks of [0, rows).
+template <typename Body>
+void for_row_blocks(int rows, std::int64_t flops_per_row, const Body& body) {
+  util::parallel_for(0, rows, row_grain(flops_per_row),
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       body(static_cast<int>(lo), static_cast<int>(hi));
+                     });
+}
+
+/// Run body(i0, i1) over blocks of the flat element range [0, n).
+template <typename Body>
+void for_elem_blocks(std::size_t n, const Body& body) {
+  util::parallel_for(0, static_cast<std::int64_t>(n), kElemGrain,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       body(static_cast<std::size_t>(lo), static_cast<std::size_t>(hi));
+                     });
+}
+
+}  // namespace
 
 // i-k-j loop order: the inner loop walks both B and C contiguously, which is
 // the cache-friendly ordering for row-major storage and lets the compiler
@@ -12,16 +49,18 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row_ptr(i);
-    float* crow = c.row_ptr(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0F) continue;
-      const float* brow = b.row_ptr(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  for_row_blocks(m, static_cast<std::int64_t>(k) * n, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* arow = a.row_ptr(i);
+      float* crow = c.row_ptr(i);
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0F) continue;
+        const float* brow = b.row_ptr(p);
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -29,32 +68,40 @@ void matmul_acc(Matrix& c, const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   assert(c.rows() == a.rows() && c.cols() == b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row_ptr(i);
-    float* crow = c.row_ptr(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0F) continue;
-      const float* brow = b.row_ptr(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  for_row_blocks(m, static_cast<std::int64_t>(k) * n, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* arow = a.row_ptr(i);
+      float* crow = c.row_ptr(i);
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0F) continue;
+        const float* brow = b.row_ptr(p);
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
+// Parallel over column blocks of C: every chunk keeps the serial p-ascending
+// accumulation order per output element and writes a disjoint column range.
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.row_ptr(p);
-    const float* brow = b.row_ptr(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0F) continue;
-      float* crow = c.row_ptr(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  util::parallel_for(0, n, row_grain(static_cast<std::int64_t>(k) * m),
+                     [&](std::int64_t j0_, std::int64_t j1_) {
+    const int j0 = static_cast<int>(j0_), j1 = static_cast<int>(j1_);
+    for (int p = 0; p < k; ++p) {
+      const float* arow = a.row_ptr(p);
+      const float* brow = b.row_ptr(p);
+      for (int i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0F) continue;
+        float* crow = c.row_ptr(i);
+        for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -62,55 +109,67 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row_ptr(i);
-    float* crow = c.row_ptr(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row_ptr(j);
-      float acc = 0.0F;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
+  for_row_blocks(m, static_cast<std::int64_t>(k) * n, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* arow = a.row_ptr(i);
+      float* crow = c.row_ptr(i);
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b.row_ptr(j);
+        float acc = 0.0F;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix add(const Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  });
   return c;
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+  for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] - b.data()[i];
+  });
   return c;
 }
 
 Matrix mul(const Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  });
   return c;
 }
 
 Matrix scale(const Matrix& a, float s) {
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * s;
+  for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] * s;
+  });
   return c;
 }
 
 Matrix add_rowvec(const Matrix& a, const Matrix& b) {
   assert(b.rows() == 1 && b.cols() == a.cols());
   Matrix c(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row_ptr(r);
-    const float* brow = b.row_ptr(0);
-    float* crow = c.row_ptr(r);
-    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + brow[j];
-  }
+  for_row_blocks(a.rows(), a.cols(), [&](int r0, int r1) {
+    for (int r = r0; r < r1; ++r) {
+      const float* arow = a.row_ptr(r);
+      const float* brow = b.row_ptr(0);
+      float* crow = c.row_ptr(r);
+      for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + brow[j];
+    }
+  });
   return c;
 }
 
@@ -128,31 +187,45 @@ Matrix scale_rows(const Matrix& a, const Matrix& s) {
 
 void acc(Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
-  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+  for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) a.data()[i] += b.data()[i];
+  });
 }
 
 void axpy(Matrix& a, float alpha, const Matrix& b) {
   assert(a.same_shape(b));
-  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += alpha * b.data()[i];
+  for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) a.data()[i] += alpha * b.data()[i];
+  });
 }
 
+// The transcendental maps get a finer grain: exp/tanh cost tens of cycles per
+// element, so smaller blocks still amortize pool dispatch.
 Matrix sigmoid(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i)
-    c.data()[i] = 1.0F / (1.0F + std::exp(-a.data()[i]));
+  util::parallel_for(0, static_cast<std::int64_t>(a.size()), kElemGrain / 8,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      c.data()[i] = 1.0F / (1.0F + std::exp(-a.data()[i]));
+  });
   return c;
 }
 
 Matrix tanh_m(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = std::tanh(a.data()[i]);
+  util::parallel_for(0, static_cast<std::int64_t>(a.size()), kElemGrain / 8,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) c.data()[i] = std::tanh(a.data()[i]);
+  });
   return c;
 }
 
 Matrix relu(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i)
-    c.data()[i] = a.data()[i] > 0.0F ? a.data()[i] : 0.0F;
+  for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i)
+      c.data()[i] = a.data()[i] > 0.0F ? a.data()[i] : 0.0F;
+  });
   return c;
 }
 

@@ -8,7 +8,9 @@
 
 namespace dg::nn {
 namespace {
-bool g_grad_enabled = true;
+// Thread-local so trainer pool workers can tape independently and inference
+// guards on one thread don't disable taping on another.
+thread_local bool g_grad_enabled = true;
 }  // namespace
 
 void TapeNode::accum_grad(const Matrix& d) {

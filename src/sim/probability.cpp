@@ -3,12 +3,33 @@
 #include "sim/bitsim.hpp"
 #include "sim/patterns.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
 namespace dg::sim {
 namespace {
+
+// Parallelism note: both estimators fan the 64-pattern blocks out over the
+// DEEPGATE_THREADS pool. Ones-counts are integers accumulated per block into
+// per-chunk partials and reduced in chunk order, and the Monte-Carlo pattern
+// words are drawn sequentially up front from the same single Rng stream the
+// serial code used — so the estimates are bit-identical at every thread
+// count (including 1, which never touches the pool).
+
+/// Sum per-chunk partial ones-counts into probabilities.
+std::vector<double> normalize(std::vector<std::vector<std::uint64_t>>& partial,
+                              std::size_t num_nodes, std::uint64_t total) {
+  std::vector<std::uint64_t> ones(num_nodes, 0);
+  for (const auto& part : partial)
+    for (std::size_t v = 0; v < num_nodes; ++v) ones[v] += part[v];
+  std::vector<double> prob(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v)
+    prob[v] = static_cast<double>(ones[v]) / static_cast<double>(total);
+  return prob;
+}
 
 /// Generic Monte-Carlo driver: `simulate(pi_words)` must return one word per
 /// node; ones are accumulated per node over ceil(num_patterns / 64) blocks,
@@ -18,22 +39,35 @@ std::vector<double> monte_carlo(std::size_t num_nodes, std::size_t num_inputs,
                                 std::size_t num_patterns, std::uint64_t seed,
                                 SimulateFn&& simulate) {
   if (num_patterns == 0) return std::vector<double>(num_nodes, 0.0);
+  const std::size_t blocks = (num_patterns + 63) / 64;
+  // Draw every block's input words sequentially first; the stream matches the
+  // original interleaved generate-then-simulate loop exactly.
   util::Rng rng(seed);
-  std::vector<std::uint64_t> ones(num_nodes, 0);
-  std::size_t remaining = num_patterns;
-  while (remaining > 0) {
-    const std::uint64_t valid = remaining >= 64 ? 64 : remaining;
-    const std::uint64_t mask = lane_mask(valid);
-    const auto pi_words = random_pattern_word(num_inputs, rng);
-    const auto words = simulate(pi_words);
-    for (std::size_t v = 0; v < num_nodes; ++v)
-      ones[v] += static_cast<std::uint64_t>(std::popcount(words[v] & mask));
-    remaining -= valid;
-  }
-  std::vector<double> prob(num_nodes);
-  for (std::size_t v = 0; v < num_nodes; ++v)
-    prob[v] = static_cast<double>(ones[v]) / static_cast<double>(num_patterns);
-  return prob;
+  std::vector<std::vector<std::uint64_t>> block_words(blocks);
+  for (std::size_t b = 0; b < blocks; ++b)
+    block_words[b] = random_pattern_word(num_inputs, rng);
+
+  util::ThreadPool& pool = util::global_pool();
+  const int chunks = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(pool.num_threads()), blocks));
+  std::vector<std::vector<std::uint64_t>> partial(
+      static_cast<std::size_t>(chunks), std::vector<std::uint64_t>(num_nodes, 0));
+  util::parallel_for_chunked(
+      pool, static_cast<std::int64_t>(blocks), chunks,
+      [&](int chunk, std::int64_t b0, std::int64_t b1) {
+        auto& ones = partial[static_cast<std::size_t>(chunk)];
+        for (std::int64_t b = b0; b < b1; ++b) {
+          const std::uint64_t valid =
+              static_cast<std::size_t>(b) + 1 == blocks && num_patterns % 64 != 0
+                  ? num_patterns % 64
+                  : 64;
+          const std::uint64_t mask = lane_mask(valid);
+          const auto words = simulate(block_words[static_cast<std::size_t>(b)]);
+          for (std::size_t v = 0; v < num_nodes; ++v)
+            ones[v] += static_cast<std::uint64_t>(std::popcount(words[v] & mask));
+        }
+      });
+  return normalize(partial, num_nodes, num_patterns);
 }
 
 template <typename SimulateFn>
@@ -44,19 +78,27 @@ std::vector<double> exhaustive(std::size_t num_nodes, std::size_t num_inputs,
   const std::uint64_t blocks = exhaustive_blocks(num_inputs);
   const std::uint64_t total = num_inputs >= 6 ? (blocks << 6) : (1ULL << num_inputs);
   const std::uint64_t valid_per_block = num_inputs >= 6 ? 64 : (1ULL << num_inputs);
-  std::vector<std::uint64_t> ones(num_nodes, 0);
-  std::vector<std::uint64_t> pi_words(num_inputs);
-  for (std::uint64_t b = 0; b < blocks; ++b) {
-    for (std::size_t i = 0; i < num_inputs; ++i) pi_words[i] = exhaustive_word(i, b);
-    const auto words = simulate(pi_words);
-    const std::uint64_t mask = lane_mask(valid_per_block);
-    for (std::size_t v = 0; v < num_nodes; ++v)
-      ones[v] += static_cast<std::uint64_t>(std::popcount(words[v] & mask));
-  }
-  std::vector<double> prob(num_nodes);
-  for (std::size_t v = 0; v < num_nodes; ++v)
-    prob[v] = static_cast<double>(ones[v]) / static_cast<double>(total);
-  return prob;
+  const std::uint64_t mask = lane_mask(valid_per_block);
+
+  util::ThreadPool& pool = util::global_pool();
+  const int chunks = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(pool.num_threads()), blocks));
+  std::vector<std::vector<std::uint64_t>> partial(
+      static_cast<std::size_t>(chunks), std::vector<std::uint64_t>(num_nodes, 0));
+  util::parallel_for_chunked(
+      pool, static_cast<std::int64_t>(blocks), chunks,
+      [&](int chunk, std::int64_t b0, std::int64_t b1) {
+        auto& ones = partial[static_cast<std::size_t>(chunk)];
+        std::vector<std::uint64_t> pi_words(num_inputs);
+        for (std::int64_t b = b0; b < b1; ++b) {
+          for (std::size_t i = 0; i < num_inputs; ++i)
+            pi_words[i] = exhaustive_word(i, static_cast<std::uint64_t>(b));
+          const auto words = simulate(pi_words);
+          for (std::size_t v = 0; v < num_nodes; ++v)
+            ones[v] += static_cast<std::uint64_t>(std::popcount(words[v] & mask));
+        }
+      });
+  return normalize(partial, num_nodes, total);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 // Environment-variable knobs shared by the benchmark harnesses so every
 // bench binary can be scaled without recompiling:
 //
-//   DEEPGATE_SCALE  = tiny | small | paper   (default small)
-//   DEEPGATE_EPOCHS = <int>                  (override epoch count)
-//   DEEPGATE_SEED   = <uint64>               (default 1)
+//   DEEPGATE_SCALE   = tiny | small | paper  (default small)
+//   DEEPGATE_EPOCHS  = <int>                 (override epoch count)
+//   DEEPGATE_SEED    = <uint64>              (default 1)
+//   DEEPGATE_THREADS = <int>                 (pool size; default hardware
+//                                             concurrency, 1 = serial —
+//                                             resolved in thread_pool.hpp)
+//   DEEPGATE_BENCH_JSON = <path>             (bench harness JSON output)
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,14 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <iostream>
+#include <mutex>
 
 namespace dg::util {
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mu;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,11 +27,12 @@ long long now_ns() {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_log_mu);
   std::cerr << "[deepgate " << level_tag(level) << "] " << msg << '\n';
 }
 

@@ -13,8 +13,8 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line at `level` (thread-unsafe by design; the library is
-/// single-threaded).
+/// Emit one line at `level`. Thread-safe: lines from concurrent pool workers
+/// are serialized, never interleaved.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -1,0 +1,195 @@
+#include "util/thread_pool.hpp"
+
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dg::util {
+
+// Broadcast-style pool: each run_chunks() call publishes one job (a function
+// plus a chunk counter) under a generation number; workers wake, claim chunk
+// indices from the shared atomic counter until exhausted, and report
+// completion. The caller claims chunks too, so a pool of N lanes uses N-1
+// spawned threads and never context-switches in the N == 1 case.
+namespace {
+// Set while a thread executes chunks of some pool job. Nested run_chunks
+// calls (e.g. a parallel matrix kernel invoked from a data-parallel trainer
+// worker) run inline instead of re-entering the pool: the outer level already
+// owns the hardware, and inline execution keeps chunk results identical.
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex submit_mu;  // serializes external run_chunks callers
+  std::mutex mu;
+  std::condition_variable cv_job;    // workers wait for a new generation
+  std::condition_variable cv_done;   // caller waits for pending == 0
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+
+  const std::function<void(int)>* job = nullptr;
+  std::atomic<int> next_chunk{0};
+  int num_chunks = 0;
+  int pending_workers = 0;  // workers still inside the current generation
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> workers;
+
+  void work_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_job.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        fn = job;
+      }
+      drain(*fn);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending_workers == 0) cv_done.notify_one();
+      }
+    }
+  }
+
+  void drain(const std::function<void(int)>& fn) {
+    t_in_parallel_region = true;
+    for (;;) {
+      const int c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    t_in_parallel_region = false;
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  if (num_threads_ == 1) return;  // inline-only pool, no workers, no Impl
+  impl_ = new Impl;
+  impl_->workers.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i)
+    impl_->workers.emplace_back([this] { impl_->work_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_job.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::run_chunks(int num_chunks, const std::function<void(int)>& fn) {
+  if (num_chunks <= 0) return;
+  if (impl_ == nullptr || num_chunks == 1 || t_in_parallel_region) {
+    for (int c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = &fn;
+    impl_->num_chunks = num_chunks;
+    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->pending_workers = static_cast<int>(impl_->workers.size());
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->cv_job.notify_all();
+  impl_->drain(fn);  // caller participates
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->cv_done.wait(lock, [&] { return impl_->pending_workers == 0; });
+  }
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+int default_num_threads() {
+  const long long env = env_int("DEEPGATE_THREADS", 0);
+  if (env >= 1) return static_cast<int>(std::min<long long>(env, 512));
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+std::mutex g_pool_mu;  // guards creation/replacement of the global pool
+std::atomic<ThreadPool*> g_pool{nullptr};  // lock-free hot-path handle
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& global_pool() {
+  if (ThreadPool* p = g_pool.load(std::memory_order_acquire)) return *p;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_num_threads());
+  g_pool.store(slot.get(), std::memory_order_release);
+  return *slot;
+}
+
+void set_global_threads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool.store(nullptr, std::memory_order_release);
+  global_slot() = std::make_unique<ThreadPool>(num_threads);
+  g_pool.store(global_slot().get(), std::memory_order_release);
+}
+
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const int chunks =
+      static_cast<int>(std::min<std::int64_t>(pool.num_threads(), (n + g - 1) / g));
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  pool.run_chunks(chunks, [&](int c) {
+    const std::int64_t lo = begin + chunk_begin(n, chunks, c);
+    const std::int64_t hi = begin + chunk_begin(n, chunks, c + 1);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  // Inside a pool chunk the call would inline anyway; skip the global-pool
+  // lookup (and its creation lock) entirely.
+  if (t_in_parallel_region) {
+    if (end > begin) body(begin, end);
+    return;
+  }
+  parallel_for(global_pool(), begin, end, grain, body);
+}
+
+void parallel_for_chunked(ThreadPool& pool, std::int64_t n, int num_chunks,
+                          const std::function<void(int, std::int64_t, std::int64_t)>& body) {
+  if (n <= 0 || num_chunks <= 0) return;
+  pool.run_chunks(num_chunks, [&](int c) {
+    body(c, chunk_begin(n, num_chunks, c), chunk_begin(n, num_chunks, c + 1));
+  });
+}
+
+}  // namespace dg::util

@@ -1,0 +1,79 @@
+// Fixed-size thread pool with a deterministic parallel_for primitive.
+//
+// Work is partitioned into contiguous chunks with fixed boundaries
+// (chunk c of C over [begin, end) is [begin + c*len/C, begin + (c+1)*len/C)),
+// so a caller that keeps one accumulator per chunk and reduces them in chunk
+// order gets results that do not depend on how chunks were scheduled onto
+// threads. Integer accumulations (the bit-parallel simulator) and disjoint
+// writes (row-blocked matrix kernels) are therefore bit-identical at every
+// thread count; float reductions are deterministic for a fixed chunk count.
+//
+// The pool size is controlled by the DEEPGATE_THREADS environment variable
+// (default: hardware concurrency). A single-thread pool never spawns workers
+// and runs every chunk inline on the caller, reproducing the pre-pool serial
+// code paths bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dg::util {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` execution lanes: the caller plus
+  /// `num_threads - 1` worker threads. `num_threads < 1` is clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Run fn(chunk) for chunk in [0, num_chunks) across the pool and block
+  /// until every chunk finished. Chunks are claimed dynamically; the caller
+  /// participates. The first exception thrown by any chunk is rethrown here
+  /// (after all chunks completed or were abandoned).
+  void run_chunks(int num_chunks, const std::function<void(int)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+  int num_threads_ = 1;
+};
+
+/// Resolved DEEPGATE_THREADS: the env value if set (clamped to >= 1), else
+/// std::thread::hardware_concurrency().
+int default_num_threads();
+
+/// Process-wide pool, lazily created with default_num_threads() lanes.
+ThreadPool& global_pool();
+
+/// Replace the global pool with one of `num_threads` lanes (test/bench knob;
+/// not safe while another thread is inside the pool).
+void set_global_threads(int num_threads);
+
+/// Fixed chunk boundary: start of chunk c when [0, n) is split into C chunks.
+inline std::int64_t chunk_begin(std::int64_t n, int num_chunks, int c) {
+  return n * c / num_chunks;
+}
+
+/// Partition [begin, end) into at most `max_chunks` fixed chunks of at least
+/// `grain` indices and run body(lo, hi) for each on the given pool. With one
+/// chunk the body runs inline on the caller.
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// parallel_for on the global pool.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Chunk-indexed variant for callers that keep per-chunk accumulators:
+/// body(chunk, lo, hi) with exactly `num_chunks` chunks (chunks may be empty
+/// when n < num_chunks). Reduction over chunks in index order is
+/// scheduling-independent.
+void parallel_for_chunked(ThreadPool& pool, std::int64_t n, int num_chunks,
+                          const std::function<void(int, std::int64_t, std::int64_t)>& body);
+
+}  // namespace dg::util

@@ -1,0 +1,174 @@
+// Thread pool: lifecycle, chunk coverage, exception propagation, nested
+// submission, and the end-to-end determinism contracts of the parallel
+// execution layer (bit-identical simulation at every thread count; training
+// losses matching across worker counts to float tolerance).
+#include "util/thread_pool.hpp"
+
+#include "core/deepgate.hpp"
+#include "data/generators_large.hpp"
+#include "nn/init.hpp"
+#include "nn/kernels.hpp"
+#include "sim/probability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace dg;
+
+TEST(ThreadPool, StartupShutdown) {
+  for (int n : {1, 2, 4, 8}) {
+    util::ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+    // Destructor joins; constructing/destructing repeatedly must not hang.
+  }
+  util::ThreadPool clamped(0);
+  EXPECT_EQ(clamped.num_threads(), 1);
+}
+
+TEST(ThreadPool, RunChunksCoversEveryChunkExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr int kChunks = 97;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.run_chunks(kChunks, [&](int c) { hits[static_cast<std::size_t>(c)]++; });
+  for (int c = 0; c < kChunks; ++c) EXPECT_EQ(hits[static_cast<std::size_t>(c)].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int n : {1, 3, 4}) {
+    util::ThreadPool pool(n);
+    constexpr std::int64_t kN = 10001;
+    std::vector<std::atomic<int>> hits(kN);
+    util::parallel_for(pool, 0, kN, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (std::int64_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkPartitionIsDeterministic) {
+  // Fixed boundaries: chunk c of C over n indices starts at n*c/C.
+  EXPECT_EQ(util::chunk_begin(10, 4, 0), 0);
+  EXPECT_EQ(util::chunk_begin(10, 4, 1), 2);
+  EXPECT_EQ(util::chunk_begin(10, 4, 2), 5);
+  EXPECT_EQ(util::chunk_begin(10, 4, 3), 7);
+  EXPECT_EQ(util::chunk_begin(10, 4, 4), 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_chunks(64,
+                      [&](int c) {
+                        if (c == 13) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  // Pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.run_chunks(8, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run_chunks(4, [&](int c) {
+    // Nested submission from a worker must not deadlock or drop work.
+    util::parallel_for(pool, c * 16, (c + 1) * 16, 1,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i)
+                           hits[static_cast<std::size_t>(i)]++;
+                       });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  util::ThreadPool pool(4);
+  int calls = 0;
+  util::parallel_for(pool, 5, 5, 1, [&](std::int64_t, std::int64_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> hits{0};
+  util::parallel_for(pool, 0, 1, 1, [&](std::int64_t lo, std::int64_t hi) {
+    hits += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ParallelDeterminism, SimulationBitIdenticalAcrossThreadCounts) {
+  const aig::Aig mult = data::gen_multiplier(8);
+  const aig::GateGraph g = aig::to_gate_graph(mult);
+  util::set_global_threads(1);
+  const auto serial = sim::gate_graph_probabilities(g, 4096, 42);
+  const auto exact_serial = sim::exact_gate_graph_probabilities(g);
+  for (int t : {2, 4}) {
+    util::set_global_threads(t);
+    EXPECT_EQ(sim::gate_graph_probabilities(g, 4096, 42), serial) << t << " threads";
+    EXPECT_EQ(sim::exact_gate_graph_probabilities(g), exact_serial) << t << " threads";
+  }
+  util::set_global_threads(1);
+}
+
+TEST(ParallelDeterminism, KernelsBitIdenticalAcrossThreadCounts) {
+  util::Rng rng(3);
+  const nn::Matrix a = nn::normal(300, 70, 1.0F, rng);
+  const nn::Matrix b = nn::normal(70, 90, 1.0F, rng);
+  util::set_global_threads(1);
+  const nn::Matrix c1 = nn::kern::matmul(a, b);
+  const nn::Matrix tn1 = nn::kern::matmul_tn(a, nn::kern::matmul(a, b));
+  util::set_global_threads(4);
+  const nn::Matrix c4 = nn::kern::matmul(a, b);
+  const nn::Matrix tn4 = nn::kern::matmul_tn(a, nn::kern::matmul(a, b));
+  util::set_global_threads(1);
+  ASSERT_TRUE(c1.same_shape(c4));
+  for (std::size_t i = 0; i < c1.size(); ++i) ASSERT_EQ(c1.data()[i], c4.data()[i]);
+  for (std::size_t i = 0; i < tn1.size(); ++i) ASSERT_EQ(tn1.data()[i], tn4.data()[i]);
+}
+
+TEST(ParallelDeterminism, TrainingLossMatchesAcrossWorkerCounts) {
+  // DEEPGATE_THREADS=1 vs =4 end to end: same prepared circuits, same model
+  // seed; epoch losses must agree to float tolerance (the only difference is
+  // the gradient reduction order).
+  std::vector<gnn::CircuitGraph> train_set;
+  for (int i = 0; i < 4; ++i)
+    train_set.push_back(deepgate::prepare(data::gen_squarer(5 + i), 2048, 9 + i));
+
+  const auto run = [&](int threads) {
+    util::set_global_threads(threads);
+    deepgate::Options options;
+    options.model.dim = 16;
+    options.model.iterations = 2;
+    options.model.mlp_hidden = 8;
+    deepgate::Engine engine(options);
+    gnn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_circuits = 4;
+    tc.threads = threads;
+    return engine.train(train_set, tc);
+  };
+
+  const gnn::TrainResult serial = run(1);
+  const gnn::TrainResult parallel = run(4);
+  util::set_global_threads(1);
+  EXPECT_EQ(serial.threads_used, 1);
+  EXPECT_EQ(parallel.threads_used, 4);
+  ASSERT_EQ(serial.epoch_loss.size(), parallel.epoch_loss.size());
+  // Epoch 1 precedes any optimizer step, so it must match bit-exactly.
+  EXPECT_DOUBLE_EQ(serial.epoch_loss[0], parallel.epoch_loss[0]);
+  for (std::size_t e = 0; e < serial.epoch_loss.size(); ++e)
+    EXPECT_NEAR(serial.epoch_loss[e], parallel.epoch_loss[e],
+                1e-4 * (1.0 + std::abs(serial.epoch_loss[e])))
+        << "epoch " << e;
+}
+
+TEST(ParallelDeterminism, DefaultThreadsHonorsEnv) {
+  EXPECT_GE(util::default_num_threads(), 1);
+}
+
+}  // namespace
