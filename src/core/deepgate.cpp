@@ -24,12 +24,26 @@ CircuitGraph prepare(const dg::aig::Aig& aig, std::size_t patterns, std::uint64_
   return CircuitGraph::from_gate_graph(g, labels);
 }
 
+dg::data::Dataset prepare_dataset(const DatasetOptions& options) {
+  return prepare_dataset(dg::data::default_dataset_config(options.scale, options.seed),
+                         options.build);
+}
+
+dg::data::Dataset prepare_dataset(const dg::data::DatasetConfig& config,
+                                  const dg::data::BuildOptions& build) {
+  return dg::data::build_dataset(config, build);
+}
+
 Engine::Engine(const Options& options)
     : options_(options), model_(dg::gnn::make_model(options.spec, options.model)) {}
 
 dg::gnn::TrainResult Engine::train(const std::vector<CircuitGraph>& train_set,
                                    const TrainConfig& cfg) {
   return dg::gnn::train(*model_, train_set, cfg);
+}
+
+dg::gnn::TrainResult Engine::train(dg::gnn::GraphStream& stream, const TrainConfig& cfg) {
+  return dg::gnn::train_streaming(*model_, stream, cfg);
 }
 
 double Engine::evaluate(const std::vector<CircuitGraph>& test_set) const {

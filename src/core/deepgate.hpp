@@ -12,6 +12,7 @@
 #pragma once
 
 #include "aig/aig.hpp"
+#include "data/dataset.hpp"
 #include "gnn/metrics.hpp"
 #include "gnn/models.hpp"
 #include "gnn/trainer.hpp"
@@ -46,6 +47,22 @@ CircuitGraph prepare(const dg::netlist::Netlist& nl, std::size_t patterns, std::
 /// Same for circuits already in AIG form.
 CircuitGraph prepare(const dg::aig::Aig& aig, std::size_t patterns, std::uint64_t seed);
 
+/// Table I-style training corpus preparation: sharded across the thread pool
+/// (DEEPGATE_THREADS), durable across runs via the on-disk shard cache when a
+/// cache directory is configured (DEEPGATE_DATA_DIR, or explicitly through
+/// `options`). Bit-identical output at every thread count and across
+/// cold/warm cache runs.
+struct DatasetOptions {
+  dg::util::BenchScale scale = dg::util::BenchScale::kSmall;
+  std::uint64_t seed = 1;
+  dg::data::BuildOptions build = dg::data::BuildOptions::from_env();
+};
+dg::data::Dataset prepare_dataset(const DatasetOptions& options = {});
+
+/// Same, for callers that need full control over the family mix.
+dg::data::Dataset prepare_dataset(const dg::data::DatasetConfig& config,
+                                  const dg::data::BuildOptions& build);
+
 class Engine {
  public:
   explicit Engine(const Options& options = Options());
@@ -53,6 +70,10 @@ class Engine {
   /// Train on prepared graphs; returns per-epoch training loss.
   dg::gnn::TrainResult train(const std::vector<CircuitGraph>& train_set,
                              const TrainConfig& cfg);
+
+  /// Train from a shard stream (e.g. dg::data::ShardStream over the files in
+  /// Dataset::shard_files) without materializing the whole set in memory.
+  dg::gnn::TrainResult train(dg::gnn::GraphStream& stream, const TrainConfig& cfg);
 
   /// Avg prediction error, Eq. (8).
   double evaluate(const std::vector<CircuitGraph>& test_set) const;

@@ -5,7 +5,9 @@
 #include "sim/probability.hpp"
 #include "synth/optimize.hpp"
 #include "synth/sweep.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <map>
@@ -45,33 +47,138 @@ DatasetConfig default_dataset_config(util::BenchScale scale, std::uint64_t seed)
   return cfg;
 }
 
+namespace {
+
+/// One unit of parallel work: a fixed slice of a family's quota plus the RNG
+/// seed that fully determines its contents.
+struct ShardPlan {
+  const FamilySpec* family = nullptr;
+  std::size_t quota = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Produce one shard's worth of sub-circuits. Pure function of (plan, cfg):
+/// the shard owns its RNG stream end to end, and the nested pattern
+/// simulation is bit-identical at every thread count, so the result does not
+/// depend on which worker runs the shard or on what runs concurrently.
+std::vector<ShardRecord> generate_shard(const ShardPlan& plan, const DatasetConfig& cfg) {
+  std::vector<ShardRecord> out;
+  out.reserve(plan.quota);
+  util::Rng rng(plan.seed);
+  const FamilySpec& family = *plan.family;
+  std::size_t produced = 0;
+  int dry_bases = 0;
+  while (produced < plan.quota && dry_bases < cfg.max_dry_bases) {
+    // Fresh randomized base design, then window several cones out of it.
+    netlist::Netlist base_nl = generate_family(family.name, rng);
+    aig::Aig base = synth::optimize(netlist::to_aig(base_nl));
+    const std::size_t want = std::min<std::size_t>(plan.quota - produced, 4);
+    auto cones = extract_subcircuits(base, want, family.extract, rng);
+    if (cones.empty()) {
+      ++dry_bases;
+      continue;
+    }
+    dry_bases = 0;
+    for (auto& cone : cones) {
+      const aig::GateGraph g = aig::to_gate_graph(cone);
+      const auto labels =
+          sim::gate_graph_probabilities(g, cfg.sim_patterns, rng.next_u64());
+      out.push_back({gnn::CircuitGraph::from_gate_graph(g, labels, cfg.pe_L),
+                     {family.name, g.size(), g.num_levels - 1}});
+      ++produced;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BuildOptions BuildOptions::from_env() {
+  BuildOptions opts;
+  opts.cache_dir = util::env_str("DEEPGATE_DATA_DIR");
+  return opts;
+}
+
+std::uint64_t dataset_config_hash(const DatasetConfig& cfg, const BuildOptions& opts) {
+  util::Fnv1a h;
+  h.u32(kShardFormatVersion);
+  h.u64(cfg.families.size());
+  for (const auto& f : cfg.families) {
+    h.str(f.name);
+    h.u64(f.num_subcircuits);
+    h.u64(f.extract.min_nodes).u64(f.extract.max_nodes);
+    h.i32(f.extract.min_level).i32(f.extract.max_level);
+    h.i32(f.extract.tries_per_cone);
+  }
+  h.u64(cfg.sim_patterns);
+  h.i32(cfg.pe_L);
+  h.i32(cfg.max_dry_bases);
+  h.u64(opts.shard_size);
+  return h.digest();
+}
+
 Dataset build_dataset(const DatasetConfig& cfg) {
-  Dataset ds;
+  return build_dataset(cfg, BuildOptions::from_env());
+}
+
+Dataset build_dataset(const DatasetConfig& cfg, const BuildOptions& opts) {
+  const std::size_t shard_size = std::max<std::size_t>(1, opts.shard_size);
+
+  // Derive every shard's seed serially up front — the fork sequence depends
+  // only on the config, never on worker count or scheduling.
+  std::vector<ShardPlan> plan;
   util::Rng rng(cfg.seed);
   for (const auto& family : cfg.families) {
     util::Rng family_rng = rng.fork();
-    std::size_t produced = 0;
-    int dry_bases = 0;
-    while (produced < family.num_subcircuits && dry_bases < 200) {
-      // Fresh randomized base design, then window several cones out of it.
-      netlist::Netlist base_nl = generate_family(family.name, family_rng);
-      aig::Aig base = synth::optimize(netlist::to_aig(base_nl));
-      const std::size_t want =
-          std::min<std::size_t>(family.num_subcircuits - produced, 4);
-      auto cones = extract_subcircuits(base, want, family.extract, family_rng);
-      if (cones.empty()) {
-        ++dry_bases;
-        continue;
-      }
-      for (auto& cone : cones) {
-        const aig::GateGraph g = aig::to_gate_graph(cone);
-        const auto labels =
-            sim::gate_graph_probabilities(g, cfg.sim_patterns, family_rng.next_u64());
-        ds.graphs.push_back(gnn::CircuitGraph::from_gate_graph(g, labels, cfg.pe_L));
-        ds.info.push_back({family.name, g.size(), g.num_levels - 1});
-        ++produced;
-      }
+    for (std::size_t done = 0; done < family.num_subcircuits; done += shard_size)
+      plan.push_back({&family,
+                      std::min(shard_size, family.num_subcircuits - done),
+                      family_rng.next_u64()});
+  }
+
+  const bool use_cache = !opts.cache_dir.empty();
+  ShardCache cache(opts.cache_dir, dataset_config_hash(cfg, opts), cfg.seed);
+
+  // Fan shard production across the pool. Each chunk touches only its own
+  // slot, so dynamic chunk claiming cannot perturb the result order.
+  std::vector<std::vector<ShardRecord>> shards(plan.size());
+  std::vector<char> persisted(plan.size(), 0);
+  util::global_pool().run_chunks(static_cast<int>(plan.size()), [&](int i) {
+    const auto idx = static_cast<std::uint32_t>(i);
+    auto& slot = shards[static_cast<std::size_t>(i)];
+    if (use_cache && cache.load(idx, slot)) {
+      persisted[static_cast<std::size_t>(i)] = 1;
+      return;
     }
+    slot = generate_shard(plan[static_cast<std::size_t>(i)], cfg);
+    if (!use_cache) return;
+    if (cache.store(idx, slot))
+      persisted[static_cast<std::size_t>(i)] = 1;
+    else
+      util::log_warn("shard cache: could not write ", cache.shard_path(idx));
+  });
+
+  // shard_files promises a faithful on-disk replay of `graphs`; a single
+  // failed write breaks that, so publish the list only when it is complete.
+  const bool all_persisted =
+      use_cache && std::all_of(persisted.begin(), persisted.end(),
+                               [](char p) { return p != 0; });
+  if (use_cache && !all_persisted && !plan.empty())
+    util::log_warn("shard cache: incomplete (", opts.cache_dir,
+                   "); Dataset::shard_files left empty");
+
+  Dataset ds;
+  std::map<std::string, std::size_t> produced_by_family;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    produced_by_family[plan[s].family->name] += shards[s].size();
+    for (auto& rec : shards[s]) {
+      ds.graphs.push_back(std::move(rec.graph));
+      ds.info.push_back(std::move(rec.info));
+    }
+    if (all_persisted) ds.shard_files.push_back(cache.shard_path(static_cast<std::uint32_t>(s)));
+  }
+  for (const auto& family : cfg.families) {
+    const std::size_t produced = produced_by_family[family.name];
     if (produced < family.num_subcircuits)
       util::log_warn("family ", family.name, ": produced ", produced, "/",
                      family.num_subcircuits, " subcircuits");
@@ -82,14 +189,17 @@ Dataset build_dataset(const DatasetConfig& cfg) {
 void Dataset::split(double train_fraction, std::uint64_t seed,
                     std::vector<gnn::CircuitGraph>& train,
                     std::vector<gnn::CircuitGraph>& test) const {
+  train.clear();
+  test.clear();
+  if (graphs.empty()) return;
+  const double fraction = std::clamp(train_fraction, 0.0, 1.0);
   std::vector<int> order(graphs.size());
   std::iota(order.begin(), order.end(), 0);
   util::Rng rng(seed);
   rng.shuffle(order);
-  const std::size_t n_train =
-      static_cast<std::size_t>(train_fraction * static_cast<double>(graphs.size()));
-  train.clear();
-  test.clear();
+  const std::size_t n_train = std::min(
+      graphs.size(),
+      static_cast<std::size_t>(fraction * static_cast<double>(graphs.size())));
   for (std::size_t i = 0; i < order.size(); ++i) {
     if (i < n_train)
       train.push_back(graphs[static_cast<std::size_t>(order[i])]);

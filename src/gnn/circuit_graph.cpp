@@ -1,6 +1,7 @@
 #include "gnn/circuit_graph.hpp"
 
 #include "gnn/posenc.hpp"
+#include "util/bytes.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -56,6 +57,7 @@ LevelBatch build_batch(const std::vector<std::array<int, 3>>& batch_edges,
 void CircuitGraph::finalize(int pe_L) {
   assert(num_nodes == static_cast<int>(type_id.size()));
   assert(num_nodes == static_cast<int>(level.size()));
+  this->pe_L = pe_L;
 
   num_levels = 0;
   for (int l : level) num_levels = std::max(num_levels, l + 1);
@@ -167,6 +169,103 @@ CircuitGraph CircuitGraph::from_netlist(const netlist::Netlist& nl,
   // machinery to AIGs); fwd_skip degenerates to fwd with PE columns.
   cg.finalize(pe_L);
   return cg;
+}
+
+void CircuitGraph::serialize(std::vector<std::uint8_t>& out) const {
+  using util::put_f32;
+  using util::put_i32;
+  using util::put_u64;
+  put_i32(out, num_nodes);
+  put_i32(out, num_types);
+  put_i32(out, pe_L);
+  for (int t : type_id) put_i32(out, t);
+  for (int l : level) put_i32(out, l);
+  put_u64(out, edges.size());
+  for (const auto& [src, dst] : edges) {
+    put_i32(out, src);
+    put_i32(out, dst);
+  }
+  put_u64(out, skip_edges.size());
+  for (const auto& e : skip_edges) {
+    put_i32(out, e.src);
+    put_i32(out, e.dst);
+    put_i32(out, e.level_diff);
+  }
+  for (float l : labels) put_f32(out, l);
+}
+
+bool CircuitGraph::deserialize(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                               CircuitGraph& g) {
+  util::ByteReader r(data + offset, size - offset);
+  CircuitGraph cg;
+  cg.num_nodes = r.i32();
+  cg.num_types = r.i32();
+  const int pe_L = r.i32();
+  if (!r.ok() || cg.num_nodes < 0 || cg.num_types <= 0 || pe_L <= 0 || pe_L > 64) return false;
+  // Each node costs at least 8 stored bytes; reject counts the buffer cannot
+  // possibly hold before any allocation happens.
+  if (static_cast<std::size_t>(cg.num_nodes) > r.remaining() / 8) return false;
+
+  const auto n = static_cast<std::size_t>(cg.num_nodes);
+  cg.type_id.resize(n);
+  cg.level.resize(n);
+  for (auto& t : cg.type_id) t = r.i32();
+  for (auto& l : cg.level) l = r.i32();
+  if (!r.ok()) return false;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cg.type_id[v] < 0 || cg.type_id[v] >= cg.num_types) return false;
+    if (cg.level[v] < 0 || cg.level[v] > cg.num_nodes) return false;
+  }
+
+  const auto in_range = [&](int v) { return v >= 0 && v < cg.num_nodes; };
+  const std::uint64_t num_edges = r.u64();
+  if (!r.ok() || num_edges > r.remaining() / 8) return false;
+  cg.edges.resize(static_cast<std::size_t>(num_edges));
+  for (auto& [src, dst] : cg.edges) {
+    src = r.i32();
+    dst = r.i32();
+    if (!r.ok() || !in_range(src) || !in_range(dst)) return false;
+  }
+  const std::uint64_t num_skip = r.u64();
+  if (!r.ok() || num_skip > r.remaining() / 12) return false;
+  cg.skip_edges.resize(static_cast<std::size_t>(num_skip));
+  for (auto& e : cg.skip_edges) {
+    e.src = r.i32();
+    e.dst = r.i32();
+    e.level_diff = r.i32();
+    if (!r.ok() || !in_range(e.src) || !in_range(e.dst) || e.level_diff < 0) return false;
+  }
+  cg.labels.resize(n);
+  for (auto& l : cg.labels) l = r.f32();
+  if (!r.ok()) return false;
+
+  cg.finalize(pe_L);
+  g = std::move(cg);
+  offset += r.offset();
+  return true;
+}
+
+bool bit_equal(const CircuitGraph& a, const CircuitGraph& b) {
+  const auto skip_eq = [](const analysis::SkipEdge& x, const analysis::SkipEdge& y) {
+    return x.src == y.src && x.dst == y.dst && x.level_diff == y.level_diff;
+  };
+  if (a.num_nodes != b.num_nodes || a.num_types != b.num_types || a.pe_L != b.pe_L ||
+      a.type_id != b.type_id || a.level != b.level || a.edges != b.edges ||
+      a.labels != b.labels)
+    return false;
+  if (a.skip_edges.size() != b.skip_edges.size()) return false;
+  for (std::size_t i = 0; i < a.skip_edges.size(); ++i)
+    if (!skip_eq(a.skip_edges[i], b.skip_edges[i])) return false;
+  // The positional encodings are derived, but they are the quantity the
+  // model actually consumes — compare them explicitly as well.
+  if (a.fwd_skip.size() != b.fwd_skip.size()) return false;
+  for (std::size_t L = 0; L < a.fwd_skip.size(); ++L) {
+    const nn::Matrix& pa = a.fwd_skip[L].pe;
+    const nn::Matrix& pb = b.fwd_skip[L].pe;
+    if (!pa.same_shape(pb)) return false;
+    if (!std::equal(pa.data(), pa.data() + pa.size(), pb.data())) return false;
+  }
+  return true;
 }
 
 }  // namespace dg::gnn

@@ -12,6 +12,7 @@
 #include "netlist/netlist.hpp"
 #include "nn/matrix.hpp"
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,7 @@ struct CircuitGraph {
   int num_nodes = 0;
   int num_types = 3;
   int num_levels = 0;
+  int pe_L = 8;                             ///< Eq. (7) L used by finalize()
   std::vector<int> type_id;                 ///< per node, in [0, num_types)
   std::vector<int> level;                   ///< forward logic level per node
   std::vector<std::pair<int, int>> edges;   ///< directed (src, dst)
@@ -74,6 +76,23 @@ struct CircuitGraph {
   /// Build from a raw netlist (num_types = 9, one-hot over GateType).
   static CircuitGraph from_netlist(const netlist::Netlist& nl, const std::vector<double>& labels,
                                    int pe_L = 8);
+
+  /// Append the defining fields (types, levels, edges, skip edges, labels,
+  /// pe_L) to `out` in a portable little-endian layout. Derived structures
+  /// are not stored; deserialize() rebuilds them via finalize(), which is
+  /// deterministic, so a round trip is bit-exact including the per-edge
+  /// positional-encoding matrices.
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Parse one graph starting at `offset` (advanced past it on success) and
+  /// finalize it. Returns false — leaving `g` unspecified — on truncation or
+  /// any structural violation (ids out of range, bad levels, label count).
+  static bool deserialize(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                          CircuitGraph& g);
 };
+
+/// Bitwise equality of the defining fields plus the derived positional
+/// encodings (the determinism contract of the dataset pipeline).
+bool bit_equal(const CircuitGraph& a, const CircuitGraph& b);
 
 }  // namespace dg::gnn

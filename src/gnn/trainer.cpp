@@ -165,4 +165,61 @@ TrainResult train(Model& model, const std::vector<CircuitGraph>& train_set,
   return train_parallel(model, train_set, cfg, workers);
 }
 
+TrainResult train_streaming(Model& model, GraphStream& stream, const TrainConfig& cfg_in) {
+  TrainResult result;
+  if (cfg_in.epochs <= 0) return result;
+  TrainConfig cfg = cfg_in;
+  cfg.batch_circuits = std::max(1, cfg.batch_circuits);
+
+  util::Timer timer;
+  nn::Adam opt(nn::param_tensors(model.named_params()), cfg.lr);
+  util::Rng rng(cfg.seed);
+
+  // Per-chunk visit orders persist across epochs (reshuffled, like the
+  // sequential trainer's single order vector), so a one-chunk stream
+  // reproduces train()'s sequential path bit-exactly in every epoch.
+  std::vector<std::vector<int>> chunk_orders;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    stream.reset();
+    double epoch_loss = 0.0;
+    std::size_t total_graphs = 0;
+    std::size_t chunk_index = 0;
+    std::vector<CircuitGraph> chunk;
+    while (stream.next(chunk)) {
+      if (chunk_index >= chunk_orders.size()) chunk_orders.resize(chunk_index + 1);
+      std::vector<int>& order = chunk_orders[chunk_index];
+      ++chunk_index;
+      if (order.size() != chunk.size()) {
+        order.resize(chunk.size());
+        std::iota(order.begin(), order.end(), 0);
+      }
+      rng.shuffle(order);
+      int in_batch = 0;
+      opt.zero_grad();
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        const CircuitGraph& g = chunk[static_cast<std::size_t>(order[k])];
+        epoch_loss += forward_backward(model, g, cfg.batch_circuits);
+        ++in_batch;
+        // Steps never straddle a chunk boundary: the tail batch closes here.
+        if (in_batch == cfg.batch_circuits || k + 1 == order.size()) {
+          opt.clip_grad_norm(cfg.clip_norm);
+          opt.step();
+          opt.zero_grad();
+          in_batch = 0;
+        }
+      }
+      total_graphs += chunk.size();
+    }
+    if (total_graphs == 0) return result;  // empty stream: no loss to report
+    epoch_loss /= static_cast<double>(total_graphs);
+    result.epoch_loss.push_back(epoch_loss);
+    if (cfg.verbose)
+      util::log_info(model.name(), " epoch ", epoch + 1, "/", cfg.epochs, " L1=",
+                     epoch_loss, " (streamed ", total_graphs, " graphs)");
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
 }  // namespace dg::gnn

@@ -37,4 +37,23 @@ struct TrainResult {
 TrainResult train(Model& model, const std::vector<CircuitGraph>& train_set,
                   const TrainConfig& cfg);
 
+/// Source of training graphs delivered chunk by chunk (e.g. disk shards via
+/// data::ShardStream), so an epoch never needs the whole dataset resident.
+class GraphStream {
+ public:
+  virtual ~GraphStream() = default;
+
+  /// Replace `out` with the next chunk; false when the pass is exhausted.
+  virtual bool next(std::vector<CircuitGraph>& out) = 0;
+
+  /// Rewind to the first chunk (called at each epoch boundary).
+  virtual void reset() = 0;
+};
+
+/// Streamed variant of train(): each epoch rewinds the stream and consumes
+/// it chunk by chunk, shuffling within each chunk. Optimizer steps never
+/// straddle a chunk boundary. With a single chunk containing the whole
+/// dataset this reproduces the sequential train() path bit-exactly.
+TrainResult train_streaming(Model& model, GraphStream& stream, const TrainConfig& cfg);
+
 }  // namespace dg::gnn

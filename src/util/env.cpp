@@ -30,6 +30,11 @@ long long env_int(const std::string& name, long long fallback) {
   return (end == v) ? fallback : parsed;
 }
 
+std::string env_str(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return v == nullptr ? fallback : std::string(v);
+}
+
 int env_epochs(int fallback) {
   return static_cast<int>(env_int("DEEPGATE_EPOCHS", fallback));
 }

@@ -8,6 +8,8 @@
 //                                             concurrency, 1 = serial —
 //                                             resolved in thread_pool.hpp)
 //   DEEPGATE_BENCH_JSON = <path>             (bench harness JSON output)
+//   DEEPGATE_DATA_DIR = <path>               (on-disk dataset shard cache;
+//                                             unset = caching disabled)
 #pragma once
 
 #include <cstdint>
@@ -30,5 +32,8 @@ std::uint64_t env_seed(std::uint64_t fallback = 1);
 
 /// Generic integer env lookup.
 long long env_int(const std::string& name, long long fallback);
+
+/// Generic string env lookup.
+std::string env_str(const std::string& name, const std::string& fallback = {});
 
 }  // namespace dg::util

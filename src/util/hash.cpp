@@ -1,0 +1,32 @@
+#include "util/hash.hpp"
+
+namespace dg::util {
+
+Fnv1a& Fnv1a::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = state_;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  state_ = h;
+  return *this;
+}
+
+Fnv1a& Fnv1a::u32(std::uint32_t v) {
+  std::uint8_t le[4];
+  for (int i = 0; i < 4; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return bytes(le, sizeof(le));
+}
+
+Fnv1a& Fnv1a::u64(std::uint64_t v) {
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return bytes(le, sizeof(le));
+}
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n) {
+  return Fnv1a{}.bytes(data, n).digest();
+}
+
+}  // namespace dg::util

@@ -1,0 +1,46 @@
+// Streaming FNV-1a (64-bit) hashing for cache keys and file checksums.
+//
+// Every multi-byte value is folded in canonical little-endian order, so a
+// digest computed on one platform matches any other — cache files written on
+// one machine stay valid on another. Not cryptographic; used only to detect
+// accidental corruption and configuration drift.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace dg::util {
+
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t n);
+
+  Fnv1a& u8(std::uint8_t v) { return bytes(&v, 1); }
+  Fnv1a& u32(std::uint32_t v);
+  Fnv1a& u64(std::uint64_t v);
+  Fnv1a& i32(std::int32_t v) { return u32(static_cast<std::uint32_t>(v)); }
+  Fnv1a& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Fnv1a& f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+
+  /// Length-prefixed so {"ab","c"} and {"a","bc"} hash differently.
+  Fnv1a& str(const std::string& s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// One-shot convenience.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n);
+
+}  // namespace dg::util

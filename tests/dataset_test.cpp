@@ -1,6 +1,7 @@
 #include "data/dataset.hpp"
 
 #include "data/generators_large.hpp"
+#include "util/hash.hpp"
 
 #include <gtest/gtest.h>
 
@@ -63,6 +64,78 @@ TEST(Dataset, SplitDeterministicForSeed) {
   ASSERT_EQ(te1.size(), te2.size());
   for (std::size_t i = 0; i < te1.size(); ++i)
     EXPECT_EQ(te1[i].num_nodes, te2[i].num_nodes);
+}
+
+/// Content fingerprint for disjointness checks: two equal graphs serialize
+/// to the same bytes, two different graphs to different bytes (with
+/// overwhelming probability under FNV-1a).
+std::uint64_t graph_fingerprint(const gnn::CircuitGraph& g) {
+  std::vector<std::uint8_t> bytes;
+  g.serialize(bytes);
+  return util::fnv1a_bytes(bytes.data(), bytes.size());
+}
+
+TEST(Dataset, SplitIsBitExactAndDisjointForFixedSeed) {
+  const Dataset ds = build_dataset(tiny_config());
+  std::multiset<std::uint64_t> all;
+  for (const auto& g : ds.graphs) all.insert(graph_fingerprint(g));
+
+  std::vector<gnn::CircuitGraph> tr1, te1, tr2, te2;
+  ds.split(0.9, 23, tr1, te1);
+  ds.split(0.9, 23, tr2, te2);
+  ASSERT_EQ(tr1.size(), tr2.size());
+  ASSERT_EQ(te1.size(), te2.size());
+  for (std::size_t i = 0; i < tr1.size(); ++i)
+    EXPECT_TRUE(gnn::bit_equal(tr1[i], tr2[i])) << "train " << i;
+  for (std::size_t i = 0; i < te1.size(); ++i)
+    EXPECT_TRUE(gnn::bit_equal(te1[i], te2[i])) << "test " << i;
+
+  // Train/test partition the dataset: together they reproduce the full
+  // multiset of fingerprints, and (duplicates aside) share no graph.
+  std::multiset<std::uint64_t> split_union;
+  std::set<std::uint64_t> train_set, test_set;
+  for (const auto& g : tr1) {
+    const std::uint64_t f = graph_fingerprint(g);
+    split_union.insert(f);
+    train_set.insert(f);
+  }
+  for (const auto& g : te1) {
+    const std::uint64_t f = graph_fingerprint(g);
+    split_union.insert(f);
+    test_set.insert(f);
+  }
+  EXPECT_EQ(split_union, all);
+  if (all.size() == std::set<std::uint64_t>(all.begin(), all.end()).size()) {
+    for (const std::uint64_t f : test_set)
+      EXPECT_EQ(train_set.count(f), 0U) << "graph in both train and test";
+  }
+}
+
+TEST(Dataset, SplitGuardsDegenerateInputs) {
+  std::vector<gnn::CircuitGraph> train, test;
+
+  // Empty dataset: both halves empty, no crash.
+  const Dataset empty;
+  empty.split(0.9, 1, train, test);
+  EXPECT_TRUE(train.empty());
+  EXPECT_TRUE(test.empty());
+
+  const Dataset ds = build_dataset(tiny_config());
+  // Fraction 0: everything lands in test.
+  ds.split(0.0, 1, train, test);
+  EXPECT_TRUE(train.empty());
+  EXPECT_EQ(test.size(), ds.graphs.size());
+  // Fraction 1: everything lands in train.
+  ds.split(1.0, 1, train, test);
+  EXPECT_EQ(train.size(), ds.graphs.size());
+  EXPECT_TRUE(test.empty());
+  // Out-of-range fractions clamp instead of over/under-flowing.
+  ds.split(-0.5, 1, train, test);
+  EXPECT_TRUE(train.empty());
+  EXPECT_EQ(test.size(), ds.graphs.size());
+  ds.split(1.5, 1, train, test);
+  EXPECT_EQ(train.size(), ds.graphs.size());
+  EXPECT_TRUE(test.empty());
 }
 
 TEST(Dataset, StatsCoverTableOneColumns) {

@@ -1,6 +1,7 @@
 #include "data/extract.hpp"
 
 #include "aig/gate_graph.hpp"
+#include "data/dataset.hpp"
 #include "data/generators_small.hpp"
 #include "netlist/to_aig.hpp"
 #include "sim/bitsim.hpp"
@@ -83,6 +84,69 @@ TEST(ExtractNetlistCone, BudgetBoundsGateCount) {
   std::size_t non_input = 0;
   for (const auto& g : cone.gates()) non_input += g.type != netlist::GateType::kInput;
   EXPECT_LE(non_input, 40U);
+}
+
+TEST(Extract, ConstantCollapsingConesYieldNullopt) {
+  // Every cone of this base optimizes to a constant (x & !x feeds everything),
+  // which must be skipped cleanly — never returned as a degenerate sub-AIG.
+  aig::Aig base;
+  const auto x = aig::make_lit(base.add_input(), false);
+  const auto y = aig::make_lit(base.add_input(), false);
+  // add_and_raw bypasses construction-time simplification so the base really
+  // contains the contradictory structure until synth::optimize proves it.
+  auto prev = base.add_and_raw(x, aig::lit_not(x));  // constant false
+  for (int i = 0; i < 6; ++i) prev = base.add_and_raw(prev, y);
+  base.add_output(prev);
+
+  ExtractConfig cfg;
+  cfg.min_nodes = 2;
+  cfg.max_nodes = 50;
+  cfg.min_level = 1;
+  cfg.max_level = 24;
+  cfg.tries_per_cone = 10;
+  util::Rng rng(7);
+  EXPECT_FALSE(extract_subcircuit(base, cfg, rng).has_value());
+}
+
+TEST(Extract, DryBasesExhaustionReturnsShortDataset) {
+  // An impossible envelope (no generated base reaches 100k nodes) must warn
+  // and return a short (here: empty) dataset instead of looping forever.
+  DatasetConfig cfg;
+  cfg.seed = 11;
+  cfg.sim_patterns = 100;
+  cfg.max_dry_bases = 2;
+  FamilySpec family;
+  family.name = "EPFL";
+  family.num_subcircuits = 4;
+  family.extract.min_nodes = 100000;
+  family.extract.max_nodes = 100001;
+  family.extract.tries_per_cone = 1;
+  cfg.families = {family};
+  const Dataset ds = build_dataset(cfg, BuildOptions{});
+  EXPECT_TRUE(ds.graphs.empty());
+  EXPECT_TRUE(ds.info.empty());
+}
+
+TEST(Extract, WantClampsAtFamilyQuota) {
+  // A quota that is not a multiple of the per-base cone count (4): the last
+  // base must be asked for exactly the remainder, never overshooting.
+  DatasetConfig cfg;
+  cfg.seed = 13;
+  cfg.sim_patterns = 1000;
+  FamilySpec family;
+  family.name = "EPFL";
+  family.num_subcircuits = 5;
+  family.extract.min_nodes = 52;
+  family.extract.max_nodes = 341;
+  family.extract.min_level = 4;
+  family.extract.max_level = 17;
+  cfg.families = {family};
+  const Dataset ds = build_dataset(cfg, BuildOptions{});
+  EXPECT_EQ(ds.graphs.size(), 5U);
+  // Same with a quota below one base's worth of cones.
+  cfg.families[0].num_subcircuits = 3;
+  const Dataset ds3 = build_dataset(cfg, BuildOptions{});
+  EXPECT_EQ(ds3.graphs.size(), 3U);
 }
 
 TEST(Extract, MultiRootWindowsGrowLarger) {
