@@ -1,0 +1,145 @@
+// Serving throughput microbenchmark: the one-graph-per-call loop vs
+// level-merged batched inference (one forward per node-budgeted super-graph)
+// vs batched + thread-pool fan-out (deepgate::BatchRunner). Reports
+// graphs/sec and nodes/sec per mode and cross-checks that every batched
+// prediction matches the single-graph path (1e-5; the implementation is
+// bit-exact).
+//
+// Honors --json out.json / DEEPGATE_BENCH_JSON for the perf-trajectory CI
+// (BENCH_micro_serving.json).
+#include "harness.hpp"
+
+#include "core/batch_runner.hpp"
+#include "core/deepgate.hpp"
+#include "data/generators_large.hpp"
+#include "util/thread_pool.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+namespace {
+
+struct Workload {
+  int num_graphs;       // circuits in the serving request
+  int sim_patterns;     // label simulation (prep only; serving ignores labels)
+  int reps;             // timing repetitions (best-of)
+};
+
+Workload workload_for(dg::util::BenchScale scale) {
+  switch (scale) {
+    case dg::util::BenchScale::kTiny: return {12, 2000, 2};
+    case dg::util::BenchScale::kPaper: return {96, 10000, 3};
+    case dg::util::BenchScale::kSmall: break;
+  }
+  return {32, 5000, 3};
+}
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    dg::util::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  bench::Context ctx = bench::make_context(argc, argv);
+  bench::print_banner("micro_serving: single vs batched vs batched+pool inference", ctx);
+
+  const Workload wl = workload_for(ctx.scale);
+  const int pool_threads = util::default_num_threads();
+
+  // Mixed-size serving workload: squarers/multipliers of cycling widths, so
+  // batches merge heterogeneous depths and node counts.
+  std::vector<gnn::CircuitGraph> graphs;
+  std::size_t total_nodes = 0;
+  for (int i = 0; i < wl.num_graphs; ++i) {
+    const aig::Aig a = (i % 2 == 0) ? data::gen_squarer(5 + (i % 4))
+                                    : data::gen_multiplier(3 + (i % 3));
+    graphs.push_back(deepgate::prepare(a, static_cast<std::size_t>(wl.sim_patterns),
+                                       ctx.seed + static_cast<std::uint64_t>(i)));
+    total_nodes += static_cast<std::size_t>(graphs.back().num_nodes);
+  }
+  std::vector<const gnn::CircuitGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+  std::printf("workload: %d graphs, %zu nodes total, pool=%d threads\n\n", wl.num_graphs,
+              total_nodes, pool_threads);
+
+  deepgate::Options options;
+  options.model = ctx.model;
+  const deepgate::Engine engine(options);
+
+  const deepgate::BatchOptions bopts = deepgate::BatchOptions::from_env();
+
+  util::TextTable table({"mode", "threads", "budget", "seconds", "graphs/s", "nodes/s",
+                         "speedup"});
+  std::vector<bench::JsonRecord> records;
+  double base_seconds = 0.0;
+  const auto record = [&](const char* mode, int threads, std::size_t budget,
+                          double seconds) {
+    if (base_seconds == 0.0) base_seconds = seconds;
+    const double gps = static_cast<double>(wl.num_graphs) / seconds;
+    const double nps = static_cast<double>(total_nodes) / seconds;
+    table.add_row({mode, std::to_string(threads), std::to_string(budget),
+                   util::fmt_fixed(seconds, 4), util::fmt_fixed(gps, 1),
+                   util::fmt_fixed(nps, 0), util::fmt_fixed(base_seconds / seconds, 2) + "x"});
+    records.push_back(bench::JsonRecord{}
+                          .str("mode", mode)
+                          .num("threads", threads)
+                          .num("node_budget", static_cast<double>(budget))
+                          .num("seconds", seconds)
+                          .num("graphs_per_sec", gps)
+                          .num("nodes_per_sec", nps)
+                          .num("speedup", base_seconds / seconds));
+  };
+
+  // -- single: the pre-batching serving loop, one engine call per graph ------
+  std::vector<std::vector<float>> reference;
+  const double single_secs = time_best_of(wl.reps, [&] {
+    reference.clear();
+    for (const auto& g : graphs) reference.push_back(engine.predict_probabilities(g));
+  });
+  record("single", 1, 0, single_secs);
+
+  // -- batched: node-budgeted merged forwards, serial over batches -----------
+  deepgate::BatchOptions serial_opts = bopts;
+  serial_opts.threads = 1;
+  const deepgate::BatchRunner serial_runner(engine, serial_opts);
+  std::vector<std::vector<float>> batched;
+  const double batched_secs =
+      time_best_of(wl.reps, [&] { batched = serial_runner.predict(ptrs); });
+  record("batched", 1, serial_opts.node_budget, batched_secs);
+
+  // -- batched+pool: merged forwards fanned across the thread pool -----------
+  const deepgate::BatchRunner pool_runner(engine, bopts);
+  std::vector<std::vector<float>> pooled;
+  const double pooled_secs =
+      time_best_of(wl.reps, [&] { pooled = pool_runner.predict(ptrs); });
+  record("batched_pool", pool_threads, bopts.node_budget, pooled_secs);
+
+  std::printf("%s\n", table.render().c_str());
+
+  // -- equivalence check: batched serving must reproduce the single path -----
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    for (std::size_t v = 0; v < reference[i].size(); ++v) {
+      if (std::abs(batched[i][v] - reference[i][v]) > 1e-5F ||
+          std::abs(pooled[i][v] - reference[i][v]) > 1e-5F) {
+        std::fprintf(stderr, "FAIL: batched prediction diverged from single path "
+                             "(graph %zu node %zu)\n", i, v);
+        return 1;
+      }
+    }
+  }
+  std::printf("equivalence: batched == single on all %d graphs\n", wl.num_graphs);
+
+  if (!bench::write_json_report(ctx, "micro_serving", records)) return 1;
+  if (!ctx.json_path.empty()) std::printf("json report: %s\n", ctx.json_path.c_str());
+  return 0;
+}

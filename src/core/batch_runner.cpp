@@ -1,0 +1,58 @@
+#include "core/batch_runner.hpp"
+
+#include "core/deepgate.hpp"
+#include "util/log.hpp"
+
+namespace deepgate {
+
+using dg::gnn::CircuitGraph;
+
+namespace {
+
+std::vector<float> column_of(const dg::nn::Matrix& pred) {
+  std::vector<float> out(static_cast<std::size_t>(pred.rows()));
+  for (int v = 0; v < pred.rows(); ++v) out[static_cast<std::size_t>(v)] = pred.at(v, 0);
+  return out;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(const Engine& engine, const BatchOptions& opts)
+    : engine_(engine), opts_(opts) {}
+
+std::vector<std::vector<float>> BatchRunner::predict(
+    const std::vector<const CircuitGraph*>& graphs) const {
+  std::vector<std::vector<float>> out(graphs.size());
+  if (graphs.empty()) return out;
+  dg::util::Timer timer;
+  const dg::gnn::Model& model = engine_.model();
+  const std::size_t batches = dg::gnn::forward_batched(
+      graphs, opts_, [&](const CircuitGraph& g) { return model.predict(g); },
+      [&](std::size_t i, dg::nn::Matrix rows) { out[i] = column_of(rows); });
+  note_call(graphs, batches, timer.seconds());
+  return out;
+}
+
+std::vector<dg::nn::Matrix> BatchRunner::embeddings(
+    const std::vector<const CircuitGraph*>& graphs) const {
+  std::vector<dg::nn::Matrix> out(graphs.size());
+  if (graphs.empty()) return out;
+  dg::util::Timer timer;
+  const dg::gnn::Model& model = engine_.model();
+  const std::size_t batches = dg::gnn::forward_batched(
+      graphs, opts_, [&](const CircuitGraph& g) { return model.embed(g); },
+      [&](std::size_t i, dg::nn::Matrix rows) { out[i] = std::move(rows); });
+  note_call(graphs, batches, timer.seconds());
+  return out;
+}
+
+void BatchRunner::note_call(const std::vector<const CircuitGraph*>& graphs,
+                            std::size_t batches, double seconds) const {
+  stats_.calls += 1;
+  stats_.batches += batches;
+  stats_.graphs += graphs.size();
+  for (const CircuitGraph* g : graphs) stats_.nodes += static_cast<std::size_t>(g->num_nodes);
+  stats_.seconds += seconds;
+}
+
+}  // namespace deepgate

@@ -1,0 +1,65 @@
+// Serving-grade batched inference.
+//
+// BatchRunner packs incoming graphs into node-budgeted level-merged
+// super-graphs (CircuitGraph::merge) and fans the batch forwards across the
+// shared thread pool, so serving cost scales with total node count rather
+// than graph count. Outputs are scattered back per graph in request order
+// and are bit-exact with the one-graph-per-call path (exactly equal for a
+// batch of one).
+//
+//   deepgate::Engine engine(options);
+//   deepgate::BatchRunner runner(engine);           // knobs from env
+//   auto probs = runner.predict(graph_ptrs);        // one vector per graph
+//   auto embs  = runner.embeddings(graph_ptrs);     // one N_i x d per graph
+#pragma once
+
+#include "gnn/circuit_graph.hpp"
+#include "gnn/metrics.hpp"
+#include "nn/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace deepgate {
+
+class Engine;
+
+/// Serving knobs — the same struct (and therefore the same defaults and
+/// DEEPGATE_SERVE_* env parsing) batched evaluation uses.
+using BatchOptions = dg::gnn::ServeOptions;
+
+/// Counters accumulated across predict/embeddings calls (single-threaded
+/// bookkeeping: updated by the calling thread after each fan-out completes).
+struct BatchStats {
+  std::size_t calls = 0;    ///< predict/embeddings invocations
+  std::size_t batches = 0;  ///< forwards run (merged super-graphs + solo graphs)
+  std::size_t graphs = 0;   ///< member graphs served
+  std::size_t nodes = 0;    ///< total nodes served
+  double seconds = 0.0;     ///< wall time inside the runner
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(const Engine& engine, const BatchOptions& opts = BatchOptions::from_env());
+
+  /// Per-node predicted probabilities for every graph, in request order.
+  std::vector<std::vector<float>> predict(
+      const std::vector<const dg::gnn::CircuitGraph*>& graphs) const;
+
+  /// Per-node embedding matrices (N_i x d) for every graph, in request order.
+  std::vector<dg::nn::Matrix> embeddings(
+      const std::vector<const dg::gnn::CircuitGraph*>& graphs) const;
+
+  const BatchOptions& options() const { return opts_; }
+  const BatchStats& stats() const { return stats_; }
+
+ private:
+  void note_call(const std::vector<const dg::gnn::CircuitGraph*>& graphs,
+                 std::size_t batches, double seconds) const;
+
+  const Engine& engine_;
+  BatchOptions opts_;
+  mutable BatchStats stats_;
+};
+
+}  // namespace deepgate

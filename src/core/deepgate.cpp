@@ -1,6 +1,7 @@
 #include "core/deepgate.hpp"
 
 #include "aig/gate_graph.hpp"
+#include "util/log.hpp"
 #include "netlist/to_aig.hpp"
 #include "nn/serialize.hpp"
 #include "sim/probability.hpp"
@@ -46,8 +47,10 @@ dg::gnn::TrainResult Engine::train(dg::gnn::GraphStream& stream, const TrainConf
   return dg::gnn::train_streaming(*model_, stream, cfg);
 }
 
-double Engine::evaluate(const std::vector<CircuitGraph>& test_set) const {
-  return dg::gnn::evaluate(*model_, test_set);
+double Engine::evaluate(const std::vector<CircuitGraph>& test_set,
+                        int iterations_override) const {
+  if (iterations_override > 0) effective_iterations(iterations_override);  // log-once
+  return dg::gnn::evaluate(*model_, test_set, iterations_override);
 }
 
 std::vector<float> Engine::predict_probabilities(const CircuitGraph& g) const {
@@ -61,6 +64,45 @@ std::vector<float> Engine::predict_probabilities(const CircuitGraph& g) const {
 dg::nn::Matrix Engine::embeddings(const CircuitGraph& g) const {
   dg::nn::NoGradGuard no_grad;
   return model_->embed(g).value();
+}
+
+std::vector<std::vector<float>> Engine::predict_batch(
+    const std::vector<const CircuitGraph*>& batch) const {
+  std::vector<std::vector<float>> out(batch.size());
+  if (batch.empty()) return out;
+  dg::nn::NoGradGuard no_grad;
+  const CircuitGraph merged = CircuitGraph::merge(batch);
+  const dg::nn::Matrix pred = model_->predict(merged).value();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const dg::gnn::GraphMember& m = merged.members[i];
+    out[i].resize(static_cast<std::size_t>(m.num_nodes));
+    for (int v = 0; v < m.num_nodes; ++v)
+      out[i][static_cast<std::size_t>(v)] = pred.at(m.node_offset + v, 0);
+  }
+  return out;
+}
+
+std::vector<dg::nn::Matrix> Engine::embeddings_batch(
+    const std::vector<const CircuitGraph*>& batch) const {
+  std::vector<dg::nn::Matrix> out(batch.size());
+  if (batch.empty()) return out;
+  dg::nn::NoGradGuard no_grad;
+  const CircuitGraph merged = CircuitGraph::merge(batch);
+  const dg::nn::Matrix emb = model_->embed(merged).value();
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    out[i] = dg::gnn::member_rows(emb, merged.members[i]);
+  return out;
+}
+
+int Engine::effective_iterations(int requested) const {
+  const int effective = model_->effective_iterations(requested);
+  if (requested > 0 && effective != requested && !iterations_warned_) {
+    iterations_warned_ = true;
+    dg::util::log_warn(model_->name(), ": inference iteration override T=", requested,
+                       " ignored by non-recurrent model; runs fixed ", effective,
+                       " layer(s)");
+  }
+  return effective;
 }
 
 bool Engine::save(const std::string& path) const {

@@ -5,7 +5,12 @@
 //   engine.train(train_graphs, train_options);
 //   auto probs = engine.predict_probabilities(graph);
 //   auto emb   = engine.embeddings(graph);   // per-gate representation
+//   auto many  = engine.predict_batch(graph_ptrs);  // one merged forward
 //   engine.save("model.dgtp");
+//
+// For serving many graphs, deepgate::BatchRunner (core/batch_runner.hpp)
+// packs them into node-budgeted merged batches and fans out across the
+// thread pool.
 //
 // Everything here delegates to the dg::* subsystem libraries; nothing in the
 // facade is required to use them directly.
@@ -75,14 +80,38 @@ class Engine {
   /// Dataset::shard_files) without materializing the whole set in memory.
   dg::gnn::TrainResult train(dg::gnn::GraphStream& stream, const TrainConfig& cfg);
 
-  /// Avg prediction error, Eq. (8).
-  double evaluate(const std::vector<CircuitGraph>& test_set) const;
+  /// Avg prediction error, Eq. (8), served batched: the set is packed into
+  /// node-budgeted merged super-graphs fanned across the thread pool
+  /// (gnn::EvalOptions::from_env — DEEPGATE_SERVE_BUDGET, 0 = per-graph
+  /// fallback, which still parallelizes). Per-graph errors are reduced in
+  /// test-set order, so the result is deterministic at any DEEPGATE_THREADS.
+  /// `iterations_override` > 0 forces the inference T; if the model is
+  /// non-recurrent and ignores it, the effective count is logged once.
+  double evaluate(const std::vector<CircuitGraph>& test_set,
+                  int iterations_override = 0) const;
 
   /// Per-node predicted probabilities.
   std::vector<float> predict_probabilities(const CircuitGraph& g) const;
 
   /// Per-node embedding matrix (N x d).
   dg::nn::Matrix embeddings(const CircuitGraph& g) const;
+
+  /// Batched inference: ONE model forward over the level-merged disjoint
+  /// union of `batch` (CircuitGraph::merge), outputs scattered back per
+  /// graph. Bit-exact with per-graph predict_probabilities/embeddings
+  /// (exactly equal for a batch of one). All graphs must share
+  /// num_types/pe_L; throws std::invalid_argument otherwise. For
+  /// node-budgeted packing + pool fan-out over many graphs, use BatchRunner.
+  std::vector<std::vector<float>> predict_batch(
+      const std::vector<const CircuitGraph*>& batch) const;
+  std::vector<dg::nn::Matrix> embeddings_batch(
+      const std::vector<const CircuitGraph*>& batch) const;
+
+  /// The iteration count inference actually runs for `requested` (Sec.
+  /// IV-D.2 sweeps): recurrent models honor requested > 0, stacked models
+  /// are fixed at construction. Logs once (per engine) when the override
+  /// would be silently ignored, so sweep harnesses can't misreport.
+  int effective_iterations(int requested) const;
 
   /// Checkpointing (binary, name-keyed; see nn/serialize.hpp).
   bool save(const std::string& path) const;
@@ -94,6 +123,7 @@ class Engine {
  private:
   Options options_;
   std::unique_ptr<dg::gnn::Model> model_;
+  mutable bool iterations_warned_ = false;  ///< log-once latch (effective_iterations)
 };
 
 }  // namespace deepgate

@@ -63,8 +63,12 @@ struct BuildOptions {
   std::string cache_dir;
   /// Sub-circuits per shard: the parallelism grain and cache-file unit.
   std::size_t shard_size = 8;
+  /// ShardStream tuning (in-memory shard LRU + background read-ahead) for
+  /// consumers that stream the built dataset back from disk.
+  StreamOptions stream;
 
-  /// cache_dir from DEEPGATE_DATA_DIR (cache disabled when unset).
+  /// cache_dir from DEEPGATE_DATA_DIR (cache disabled when unset), stream
+  /// knobs from DEEPGATE_SHARD_LRU / DEEPGATE_SHARD_READAHEAD.
   static BuildOptions from_env();
 };
 

@@ -1,6 +1,7 @@
 #include "data/shard_io.hpp"
 
 #include "util/bytes.hpp"
+#include "util/env.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 
@@ -188,21 +189,99 @@ bool ShardCache::store(std::uint32_t index, const std::vector<ShardRecord>& reco
   return write_shard(shard_path(index), config_hash_, seed_, index, records);
 }
 
-ShardStream::ShardStream(std::vector<std::string> paths) : paths_(std::move(paths)) {}
+StreamOptions StreamOptions::from_env() {
+  StreamOptions opts;
+  const long long lru = util::env_int("DEEPGATE_SHARD_LRU", 0);
+  if (lru > 0) opts.lru_shards = static_cast<std::size_t>(lru);
+  opts.readahead = util::env_int("DEEPGATE_SHARD_READAHEAD", 0) != 0;
+  return opts;
+}
+
+ShardStream::ShardStream(std::vector<std::string> paths, StreamOptions opts)
+    : paths_(std::move(paths)), opts_(opts) {}
+
+ShardStream::~ShardStream() { drop_pending(); }
+
+void ShardStream::reset() {
+  // An in-flight prefetch of the NEXT epoch's first shards could in principle
+  // be kept, but the cursor may now diverge from pending_index_; simplest
+  // correct behavior is to retire it (the LRU usually absorbs the cost).
+  drop_pending();
+  cursor_ = 0;
+  maybe_prefetch();
+}
+
+ShardStream::Loaded ShardStream::load_shard(std::size_t index) const {
+  Loaded loaded;
+  ShardHeader header;
+  std::vector<ShardRecord> records;
+  const ShardError err = ShardReader::read_all(paths_[index], header, records);
+  if (err != ShardError::kNone) {
+    util::log_warn("shard stream: skipping ", paths_[index], " (", shard_error_name(err), ")");
+    return loaded;
+  }
+  ++disk_loads_;
+  loaded.ok = true;
+  loaded.graphs.reserve(records.size());
+  for (auto& rec : records) loaded.graphs.push_back(std::move(rec.graph));
+  return loaded;
+}
+
+void ShardStream::drop_pending() {
+  if (pending_.valid()) pending_.get();
+}
+
+void ShardStream::maybe_prefetch() {
+  if (!opts_.readahead || pending_.valid() || cursor_ >= paths_.size()) return;
+  for (const auto& entry : lru_)
+    if (entry.first == cursor_) return;  // already resident, nothing to fetch
+  pending_index_ = cursor_;
+  pending_ = std::async(std::launch::async,
+                        [this, index = cursor_] { return load_shard(index); });
+}
 
 bool ShardStream::next(std::vector<gnn::CircuitGraph>& out) {
   while (cursor_ < paths_.size()) {
-    const std::string& path = paths_[cursor_++];
-    ShardHeader header;
-    std::vector<ShardRecord> records;
-    const ShardError err = ShardReader::read_all(path, header, records);
-    if (err != ShardError::kNone) {
-      util::log_warn("shard stream: skipping ", path, " (", shard_error_name(err), ")");
+    const std::size_t index = cursor_++;
+
+    // 1. Resident in the LRU? Serve a copy and refresh recency.
+    bool hit = false;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->first != index) continue;
+      out = it->second;
+      lru_.splice(lru_.begin(), lru_, it);
+      ++lru_hits_;
+      hit = true;
+      break;
+    }
+    if (hit) {
+      maybe_prefetch();
+      return true;
+    }
+
+    // 2. Otherwise take the prefetched result if it is this shard, retiring
+    // a mismatched in-flight load first (reset/skip changed the cursor).
+    Loaded loaded;
+    if (pending_.valid() && pending_index_ == index) {
+      loaded = pending_.get();
+      if (loaded.ok) ++prefetch_hits_;
+    } else {
+      drop_pending();
+      loaded = load_shard(index);
+    }
+    if (!loaded.ok) {
+      // Keep the pipeline primed past the bad file (cursor_ already points
+      // at the next shard), then retry the loop.
+      maybe_prefetch();
       continue;
     }
-    out.clear();
-    out.reserve(records.size());
-    for (auto& rec : records) out.push_back(std::move(rec.graph));
+
+    if (opts_.lru_shards > 0) {
+      lru_.emplace_front(index, loaded.graphs);
+      while (lru_.size() > opts_.lru_shards) lru_.pop_back();
+    }
+    out = std::move(loaded.graphs);
+    maybe_prefetch();
     return true;
   }
   return false;

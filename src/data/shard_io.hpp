@@ -18,7 +18,10 @@
 #include "gnn/circuit_graph.hpp"
 #include "gnn/trainer.hpp"
 
+#include <atomic>
 #include <cstdint>
+#include <future>
+#include <list>
 #include <string>
 #include <vector>
 
@@ -108,22 +111,71 @@ class ShardCache {
   std::uint64_t seed_;
 };
 
+/// ShardStream tuning knobs. Both default off so the stream stays a plain
+/// one-shard-at-a-time reader; BuildOptions carries a copy filled from the
+/// environment (DEEPGATE_SHARD_LRU / DEEPGATE_SHARD_READAHEAD) for callers
+/// that want the env-driven behavior.
+struct StreamOptions {
+  /// Bounded in-memory shard cache: keep up to this many decoded shards
+  /// resident (LRU eviction), so multi-epoch runs skip re-reading and
+  /// re-finalizing hot shards. 0 disables.
+  std::size_t lru_shards = 0;
+  /// Load shard N+1 on a background thread while shard N is being consumed.
+  bool readahead = false;
+
+  static StreamOptions from_env();
+};
+
 /// Iterate a list of shard files one shard at a time, so training can stream
 /// the dataset without ever materializing all graphs in memory. Implements
 /// the trainer's GraphStream interface; a shard that fails validation is
-/// skipped with a warning.
+/// skipped with a warning. Optionally keeps a bounded LRU of decoded shards
+/// and prefetches the next shard in the background (StreamOptions); the
+/// delivered sequence is identical whatever the knobs.
 class ShardStream final : public gnn::GraphStream {
  public:
-  explicit ShardStream(std::vector<std::string> paths);
+  /// The default options come from the environment, so existing call sites
+  /// honor DEEPGATE_SHARD_LRU / DEEPGATE_SHARD_READAHEAD without plumbing;
+  /// pass BuildOptions::stream (or an explicit StreamOptions) to override.
+  explicit ShardStream(std::vector<std::string> paths,
+                       StreamOptions opts = StreamOptions::from_env());
+  ~ShardStream() override;
 
   bool next(std::vector<gnn::CircuitGraph>& out) override;
-  void reset() override { cursor_ = 0; }
+  void reset() override;
 
   std::size_t num_shards() const { return paths_.size(); }
+  const StreamOptions& options() const { return opts_; }
+
+  /// Observability for tests/benches.
+  std::size_t lru_hits() const { return lru_hits_; }
+  std::size_t prefetch_hits() const { return prefetch_hits_; }
+  std::size_t disk_loads() const { return disk_loads_.load(); }
 
  private:
+  struct Loaded {
+    bool ok = false;
+    std::vector<gnn::CircuitGraph> graphs;
+  };
+
+  Loaded load_shard(std::size_t index) const;
+  void drop_pending();
+  void maybe_prefetch();
+
   std::vector<std::string> paths_;
+  StreamOptions opts_;
   std::size_t cursor_ = 0;
+
+  // LRU over decoded shards, most recent first.
+  std::list<std::pair<std::size_t, std::vector<gnn::CircuitGraph>>> lru_;
+
+  // At most one in-flight background load.
+  std::future<Loaded> pending_;
+  std::size_t pending_index_ = 0;
+
+  std::size_t lru_hits_ = 0;
+  std::size_t prefetch_hits_ = 0;
+  mutable std::atomic<std::size_t> disk_loads_{0};  ///< touched by the prefetch thread
 };
 
 }  // namespace dg::data

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <stdexcept>
 
 namespace dg::gnn {
 namespace {
@@ -108,6 +109,32 @@ void CircuitGraph::finalize(int pe_L) {
                     pe_L, /*with_pe=*/false);
   }
 
+  // Per-row update masks for batched graphs: a member whose own batch at a
+  // level is empty must keep its rows' states untouched there, exactly as it
+  // would running alone.
+  if (!members.empty()) {
+    for (int L = 0; L < num_levels; ++L) {
+      const auto& nodes = nodes_at_level[static_cast<std::size_t>(L)];
+      const std::vector<int> member_of_row = member_of_level_rows(L);
+      const auto apply_mask = [&](LevelBatch& batch) {
+        if (batch.empty()) return;  // level skipped for every member alike
+        std::vector<std::uint8_t> member_has(members.size(), 0);
+        for (const int seg : batch.seg)
+          member_has[static_cast<std::size_t>(member_of_row[static_cast<std::size_t>(seg)])] = 1;
+        bool any_zero = false;
+        std::vector<std::uint8_t> mask(nodes.size(), 1);
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          mask[i] = member_has[static_cast<std::size_t>(member_of_row[i])];
+          any_zero |= mask[i] == 0;
+        }
+        if (any_zero) batch.update_rows = std::move(mask);
+      };
+      apply_mask(fwd[static_cast<std::size_t>(L)]);
+      apply_mask(fwd_skip[static_cast<std::size_t>(L)]);
+      apply_mask(rev[static_cast<std::size_t>(L)]);
+    }
+  }
+
   // Undirected whole-graph arrays for GCN.
   und_src.clear();
   und_dst.clear();
@@ -169,6 +196,105 @@ CircuitGraph CircuitGraph::from_netlist(const netlist::Netlist& nl,
   // machinery to AIGs); fwd_skip degenerates to fwd with PE columns.
   cg.finalize(pe_L);
   return cg;
+}
+
+std::vector<int> CircuitGraph::member_of_level_rows(int L) const {
+  const auto& nodes = nodes_at_level[static_cast<std::size_t>(L)];
+  std::vector<int> member_of_row(nodes.size());
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    while (m < members.size() &&
+           nodes[i] >= members[m].node_offset + members[m].num_nodes)
+      ++m;
+    assert(m < members.size());
+    member_of_row[i] = static_cast<int>(m);
+  }
+  return member_of_row;
+}
+
+CircuitGraph CircuitGraph::merge(const std::vector<const CircuitGraph*>& parts) {
+  CircuitGraph out;
+  if (parts.empty()) {
+    out.num_nodes = 0;
+    out.finalize(out.pe_L);
+    return out;
+  }
+  for (const CircuitGraph* p : parts) {
+    if (p == nullptr) throw std::invalid_argument("CircuitGraph::merge: null part");
+    if (p->is_batch())
+      throw std::invalid_argument("CircuitGraph::merge: parts must not be batches themselves");
+    if (p->num_types != parts[0]->num_types)
+      throw std::invalid_argument("CircuitGraph::merge: num_types mismatch");
+    if (p->pe_L != parts[0]->pe_L)
+      throw std::invalid_argument("CircuitGraph::merge: pe_L mismatch");
+  }
+  out.num_types = parts[0]->num_types;
+
+  std::size_t total_nodes = 0, total_edges = 0, total_skip = 0;
+  for (const CircuitGraph* p : parts) {
+    total_nodes += static_cast<std::size_t>(p->num_nodes);
+    total_edges += p->edges.size();
+    total_skip += p->skip_edges.size();
+  }
+  out.members.reserve(parts.size());
+  out.type_id.reserve(total_nodes);
+  out.level.reserve(total_nodes);
+  out.labels.reserve(total_nodes);
+  out.edges.reserve(total_edges);
+  out.skip_edges.reserve(total_skip);
+
+  // Concatenating in part order keeps each member's edges in their original
+  // relative order, which (with finalize's stable per-level sort) preserves
+  // every destination node's message accumulation order — the property that
+  // makes merged forwards bit-exact per member.
+  int offset = 0;
+  for (const CircuitGraph* p : parts) {
+    out.members.push_back({offset, p->num_nodes, p->num_levels});
+    out.type_id.insert(out.type_id.end(), p->type_id.begin(), p->type_id.end());
+    out.level.insert(out.level.end(), p->level.begin(), p->level.end());
+    out.labels.insert(out.labels.end(), p->labels.begin(), p->labels.end());
+    for (const auto& [src, dst] : p->edges) out.edges.emplace_back(src + offset, dst + offset);
+    for (const auto& e : p->skip_edges)
+      out.skip_edges.push_back({e.src + offset, e.dst + offset, e.level_diff});
+    offset += p->num_nodes;
+  }
+  out.num_nodes = static_cast<int>(total_nodes);
+  out.finalize(parts[0]->pe_L);
+  return out;
+}
+
+nn::Matrix member_rows(const nn::Matrix& full, const GraphMember& m) {
+  nn::Matrix out(m.num_nodes, full.cols());
+  for (int r = 0; r < m.num_nodes; ++r) {
+    const float* src = full.row_ptr(m.node_offset + r);
+    std::copy(src, src + full.cols(), out.row_ptr(r));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> plan_node_batches(
+    const std::vector<const CircuitGraph*>& graphs, std::size_t node_budget,
+    std::size_t max_graphs) {
+  std::vector<std::pair<std::size_t, std::size_t>> plan;
+  if (graphs.empty()) return plan;
+  const std::size_t cap = max_graphs == 0 ? 1 : max_graphs;
+  std::size_t begin = 0, nodes = 0;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const std::size_t n = static_cast<std::size_t>(graphs[i]->num_nodes);
+    const bool open = i > begin;
+    const bool incompatible = open && (graphs[i]->num_types != graphs[begin]->num_types ||
+                                       graphs[i]->pe_L != graphs[begin]->pe_L ||
+                                       graphs[i]->is_batch() || graphs[begin]->is_batch());
+    if (open && (incompatible || node_budget == 0 || nodes + n > node_budget ||
+                 i - begin >= cap)) {
+      plan.emplace_back(begin, i);
+      begin = i;
+      nodes = 0;
+    }
+    nodes += n;
+  }
+  plan.emplace_back(begin, graphs.size());
+  return plan;
 }
 
 void CircuitGraph::serialize(std::vector<std::uint8_t>& out) const {

@@ -31,7 +31,27 @@ struct LevelBatch {
   std::vector<float> inv_deg;///< per dst node: 1 / indegree (for mean aggregators)
   int num_edges = 0;
 
+  /// Batched graphs only (else empty = update every row): per dst row, 1 if
+  /// the row's member has edges in its OWN batch at this level. A member
+  /// whose own level batch is empty skips the level when running alone (no
+  /// GRU update), so the merged sweep must leave its rows untouched too —
+  /// e.g. a shallow member's top level inside a deeper batch's reverse sweep.
+  std::vector<std::uint8_t> update_rows;
+
   bool empty() const { return num_edges == 0; }
+  bool masked() const { return !update_rows.empty(); }
+};
+
+/// One member of a level-merged super-graph built by CircuitGraph::merge().
+/// Node ids [node_offset, node_offset + num_nodes) of the merged graph are
+/// the member's nodes in their original order — the scatter map that splits
+/// merged per-node outputs back out per graph. num_levels is the member's
+/// own depth, needed to replay its h0 random stream exactly (see
+/// init_level_states).
+struct GraphMember {
+  int node_offset = 0;
+  int num_nodes = 0;
+  int num_levels = 0;
 };
 
 struct CircuitGraph {
@@ -44,6 +64,12 @@ struct CircuitGraph {
   std::vector<std::pair<int, int>> edges;   ///< directed (src, dst)
   std::vector<analysis::SkipEdge> skip_edges;
   std::vector<float> labels;                ///< simulated signal probabilities
+
+  /// Batch metadata — non-empty only for super-graphs built by merge().
+  /// Because every node id is member-local id + node_offset, member m's rows
+  /// of any N x d model output are the contiguous block
+  /// [node_offset, node_offset + num_nodes), in the member's node order.
+  std::vector<GraphMember> members;
 
   // Level layout.
   std::vector<std::vector<int>> nodes_at_level;
@@ -77,6 +103,23 @@ struct CircuitGraph {
   static CircuitGraph from_netlist(const netlist::Netlist& nl, const std::vector<double>& labels,
                                    int pe_L = 8);
 
+  /// Disjoint-union batching: concatenate `parts` into one levelized
+  /// super-graph whose level L holds every part's level-L nodes, so a single
+  /// model forward covers all members. All parts must share num_types and
+  /// pe_L (throws std::invalid_argument otherwise). Within each merged level
+  /// the members' nodes stay contiguous and in member order, and each
+  /// member's per-destination edge order is preserved, so a forward over the
+  /// merged graph is bit-exact with each member running alone (models replay
+  /// per-member h0 streams via `members`). merge({}) yields an empty graph.
+  static CircuitGraph merge(const std::vector<const CircuitGraph*>& parts);
+
+  bool is_batch() const { return !members.empty(); }
+
+  /// Batched graphs: member index of each row of nodes_at_level[L]. Relies
+  /// on the merge invariant that nodes_at_level entries ascend and member
+  /// node-id ranges are contiguous, so each member's rows form one block.
+  std::vector<int> member_of_level_rows(int L) const;
+
   /// Append the defining fields (types, levels, edges, skip edges, labels,
   /// pe_L) to `out` in a portable little-endian layout. Derived structures
   /// are not stored; deserialize() rebuilds them via finalize(), which is
@@ -94,5 +137,18 @@ struct CircuitGraph {
 /// Bitwise equality of the defining fields plus the derived positional
 /// encodings (the determinism contract of the dataset pipeline).
 bool bit_equal(const CircuitGraph& a, const CircuitGraph& b);
+
+/// Copy member m's rows [node_offset, node_offset + num_nodes) out of a
+/// merged per-node output matrix — the scatter half of merge().
+nn::Matrix member_rows(const nn::Matrix& full, const GraphMember& m);
+
+/// Pack `graphs` (kept in order) into contiguous batches whose total node
+/// count stays within `node_budget` and whose member count stays within
+/// `max_graphs`. A single graph larger than the budget gets a batch of its
+/// own; node_budget == 0 disables merging (one graph per batch — the
+/// pre-batching fallback). Returns [begin, end) index ranges.
+std::vector<std::pair<std::size_t, std::size_t>> plan_node_batches(
+    const std::vector<const CircuitGraph*>& graphs, std::size_t node_budget,
+    std::size_t max_graphs);
 
 }  // namespace dg::gnn

@@ -32,6 +32,10 @@ class RecurrentDagModel final : public Model {
     return embed_iterations(g, cfg_.iterations);
   }
 
+  int effective_iterations(int requested) const override {
+    return requested > 0 ? requested : cfg_.iterations;
+  }
+
   std::unique_ptr<Model> clone() const override {
     auto copy = std::make_unique<RecurrentDagModel>(cfg_, name_);
     copy_params(*this, *copy);

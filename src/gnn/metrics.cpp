@@ -1,8 +1,28 @@
 #include "gnn/metrics.hpp"
 
+#include "util/env.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace dg::gnn {
+
+ServeOptions ServeOptions::from_env() {
+  ServeOptions opts;
+  const long long budget = util::env_int("DEEPGATE_SERVE_BUDGET", -1);
+  if (budget >= 0) opts.node_budget = static_cast<std::size_t>(budget);
+  const long long max_graphs = util::env_int("DEEPGATE_SERVE_MAX_GRAPHS", -1);
+  if (max_graphs > 0) opts.max_graphs = static_cast<std::size_t>(max_graphs);
+  return opts;
+}
+
+EvalOptions EvalOptions::from_env() {
+  EvalOptions opts;
+  static_cast<ServeOptions&>(opts) = ServeOptions::from_env();
+  return opts;
+}
 
 double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& pred) {
   double total = 0.0;
@@ -12,34 +32,112 @@ double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& 
   return labels.empty() ? 0.0 : total / static_cast<double>(labels.size());
 }
 
+std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
+                            const ServeOptions& opts,
+                            const std::function<nn::Tensor(const CircuitGraph&)>& forward,
+                            const std::function<void(std::size_t, nn::Matrix)>& sink) {
+  if (graphs.empty()) return 0;
+  const auto plan = plan_node_batches(graphs, opts.node_budget, opts.max_graphs);
+
+  const auto run_batch = [&](std::size_t b) {
+    const auto [begin, end] = plan[b];
+    if (end - begin == 1) {
+      sink(begin, forward(*graphs[begin]).value());
+      return;
+    }
+    const std::vector<const CircuitGraph*> parts(
+        graphs.begin() + static_cast<std::ptrdiff_t>(begin),
+        graphs.begin() + static_cast<std::ptrdiff_t>(end));
+    const CircuitGraph merged = CircuitGraph::merge(parts);
+    const nn::Tensor out = forward(merged);  // keeps .value() alive below
+    for (std::size_t i = begin; i < end; ++i)
+      sink(i, member_rows(out.value(), merged.members[i - begin]));
+  };
+
+  const int requested = opts.threads > 0 ? opts.threads : util::default_num_threads();
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, requested)), plan.size()));
+  if (workers <= 1) {
+    nn::NoGradGuard no_grad;
+    for (std::size_t b = 0; b < plan.size(); ++b) run_batch(b);
+    return plan.size();
+  }
+  // `workers` lanes claim batches dynamically off a shared counter, so a
+  // straggler batch never leaves other lanes idle behind a static partition
+  // while opts.threads still bounds concurrency. Each sink writes its own
+  // indices and reductions downstream are index-ordered, so the result is
+  // scheduling-independent.
+  std::atomic<std::size_t> next{0};
+  util::global_pool().run_chunks(workers, [&](int /*lane*/) {
+    nn::NoGradGuard no_grad;  // the grad-enable flag is thread_local
+    for (;;) {
+      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= plan.size()) break;
+      run_batch(b);
+    }
+  });
+  return plan.size();
+}
+
+namespace {
+
+/// Per-circuit Eq. (8) errors, batched + pooled. One errors[i] per graph,
+/// filled by whichever worker runs graph i's batch; a later reduction in
+/// index order is therefore scheduling-independent.
+std::vector<double> per_circuit_errors(const Model& model,
+                                       const std::vector<CircuitGraph>& test_set,
+                                       const EvalOptions& opts) {
+  std::vector<double> errors(test_set.size(), 0.0);
+  std::vector<const CircuitGraph*> ptrs;
+  ptrs.reserve(test_set.size());
+  for (const auto& g : test_set) ptrs.push_back(&g);
+  forward_batched(
+      ptrs, opts,
+      [&](const CircuitGraph& g) {
+        return opts.iterations_override > 0
+                   ? model.predict_iterations(g, opts.iterations_override)
+                   : model.predict(g);
+      },
+      [&](std::size_t i, nn::Matrix rows) {
+        errors[i] = avg_prediction_error(test_set[i].labels, rows);
+      });
+  return errors;
+}
+
+}  // namespace
+
 double evaluate(const Model& model, const std::vector<CircuitGraph>& test_set,
-                int iterations_override) {
-  nn::NoGradGuard no_grad;
+                const EvalOptions& opts) {
+  const std::vector<double> errors = per_circuit_errors(model, test_set, opts);
+  // Fixed-order reduction (test-set order): deterministic at any thread count.
   double total = 0.0;
   std::size_t nodes = 0;
-  for (const auto& g : test_set) {
-    const nn::Tensor pred = iterations_override > 0
-                                ? model.predict_iterations(g, iterations_override)
-                                : model.predict(g);
-    total += avg_prediction_error(g.labels, pred.value()) * static_cast<double>(g.num_nodes);
-    nodes += static_cast<std::size_t>(g.num_nodes);
+  for (std::size_t i = 0; i < test_set.size(); ++i) {
+    total += errors[i] * static_cast<double>(test_set[i].num_nodes);
+    nodes += static_cast<std::size_t>(test_set[i].num_nodes);
   }
   return nodes == 0 ? 0.0 : total / static_cast<double>(nodes);
+}
+
+double evaluate(const Model& model, const std::vector<CircuitGraph>& test_set,
+                int iterations_override) {
+  EvalOptions opts = EvalOptions::from_env();
+  opts.iterations_override = iterations_override;
+  return evaluate(model, test_set, opts);
+}
+
+std::vector<double> evaluate_per_circuit(const Model& model,
+                                         const std::vector<CircuitGraph>& test_set,
+                                         const EvalOptions& opts) {
+  return per_circuit_errors(model, test_set, opts);
 }
 
 std::vector<double> evaluate_per_circuit(const Model& model,
                                          const std::vector<CircuitGraph>& test_set,
                                          int iterations_override) {
-  nn::NoGradGuard no_grad;
-  std::vector<double> errors;
-  errors.reserve(test_set.size());
-  for (const auto& g : test_set) {
-    const nn::Tensor pred = iterations_override > 0
-                                ? model.predict_iterations(g, iterations_override)
-                                : model.predict(g);
-    errors.push_back(avg_prediction_error(g.labels, pred.value()));
-  }
-  return errors;
+  EvalOptions opts = EvalOptions::from_env();
+  opts.iterations_override = iterations_override;
+  return evaluate_per_circuit(model, test_set, opts);
 }
 
 }  // namespace dg::gnn

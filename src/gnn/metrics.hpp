@@ -1,13 +1,60 @@
 // Evaluation metrics. The paper's metric (Eq. 8) is the average absolute
 // difference between simulated and predicted probability over every node of
 // every evaluated circuit.
+//
+// Evaluation is served batched: the test set is packed into node-budgeted
+// level-merged super-graphs (CircuitGraph::merge) and the batch forwards fan
+// out across the thread pool. Merged forwards are bit-exact with per-graph
+// forwards and per-graph errors are reduced in test-set order, so the
+// reported Eq. (8) number is deterministic at any DEEPGATE_THREADS and
+// identical whether batching is on (node_budget > 0) or off (the per-graph
+// fallback, node_budget == 0, which still parallelizes over the pool).
 #pragma once
 
 #include "gnn/model_common.hpp"
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace dg::gnn {
+
+/// Batched-serving knobs shared by evaluation here and the
+/// deepgate::BatchRunner serving loop (which aliases this struct) — the
+/// defaults live in exactly one place.
+struct ServeOptions {
+  std::size_t node_budget = 8192;///< nodes per merged super-graph; 0 = one
+                                 ///< graph per forward (pre-batching fallback)
+  std::size_t max_graphs = 64;   ///< member cap per merged super-graph
+  int threads = 0;               ///< max pool lanes claiming batches
+                                 ///< (dynamically, off a shared counter);
+                                 ///< 0 = DEEPGATE_THREADS, 1 = serial
+
+  /// node_budget from DEEPGATE_SERVE_BUDGET and max_graphs from
+  /// DEEPGATE_SERVE_MAX_GRAPHS when set.
+  static ServeOptions from_env();
+};
+
+struct EvalOptions : ServeOptions {
+  int iterations_override = 0;   ///< > 0 forces the inference T (recurrent
+                                 ///< models; stacked models ignore it — see
+                                 ///< Model::effective_iterations)
+
+  static EvalOptions from_env();
+};
+
+/// The batched-serving primitive shared by evaluation (here) and the
+/// deepgate::BatchRunner serving loop: pack `graphs` into node-budgeted
+/// level-merged batches (plan_node_batches), run `forward` once per batch —
+/// fanned across the thread pool when `opts.threads` resolves > 1, batches
+/// claimed dynamically, each under its own NoGradGuard — and hand every
+/// graph its own output rows via `sink(graph_index, rows)`. sink may run on
+/// pool workers but is called exactly once per index, so writes to
+/// per-index slots need no locking. Returns the number of batches run.
+std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
+                            const ServeOptions& opts,
+                            const std::function<nn::Tensor(const CircuitGraph&)>& forward,
+                            const std::function<void(std::size_t, nn::Matrix)>& sink);
 
 /// Eq. (8) over one circuit with an explicit prediction vector.
 double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& pred);
@@ -17,9 +64,17 @@ double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& 
 double evaluate(const Model& model, const std::vector<CircuitGraph>& test_set,
                 int iterations_override = 0);
 
+/// Full-control variant (batch node budget, worker count).
+double evaluate(const Model& model, const std::vector<CircuitGraph>& test_set,
+                const EvalOptions& opts);
+
 /// Per-circuit errors (same order as `test_set`).
 std::vector<double> evaluate_per_circuit(const Model& model,
                                          const std::vector<CircuitGraph>& test_set,
                                          int iterations_override = 0);
+
+std::vector<double> evaluate_per_circuit(const Model& model,
+                                         const std::vector<CircuitGraph>& test_set,
+                                         const EvalOptions& opts);
 
 }  // namespace dg::gnn

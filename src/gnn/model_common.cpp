@@ -85,13 +85,71 @@ nn::Matrix random_rows(int rows, int dim, util::Rng& rng) {
   return nn::normal(rows, dim, stddev, rng);
 }
 
+constexpr std::uint64_t kH0SeedMix = 0xd1f7a2b3c4e5f607ULL;
+
+/// Per (member, level) contiguous row block within the merged level tensors.
+/// nodes_at_level is sorted by node id and member id ranges are contiguous,
+/// so member m's rows of level L are always one block.
+struct MemberLevelRows {
+  std::vector<int> start;  // [member * num_levels + level]
+  std::vector<int> count;
+};
+
+MemberLevelRows member_level_rows(const CircuitGraph& g) {
+  MemberLevelRows rows;
+  const std::size_t cells = g.members.size() * static_cast<std::size_t>(g.num_levels);
+  rows.start.assign(cells, 0);
+  rows.count.assign(cells, 0);
+  for (int L = 0; L < g.num_levels; ++L) {
+    const std::vector<int> member_of_row = g.member_of_level_rows(L);
+    for (std::size_t i = 0; i < member_of_row.size(); ++i) {
+      const std::size_t cell =
+          static_cast<std::size_t>(member_of_row[i]) * static_cast<std::size_t>(g.num_levels) +
+          static_cast<std::size_t>(L);
+      if (rows.count[cell] == 0) rows.start[cell] = static_cast<int>(i);
+      ++rows.count[cell];
+    }
+  }
+  return rows;
+}
+
+/// Random h0 for a batched graph: replay each member's own stream (the exact
+/// sequence of per-level draws init_level_states makes for the member alone)
+/// and scatter the rows into the merged level tensors, so merged inference is
+/// bit-exact with every member running solo.
+std::vector<nn::Matrix> batched_random_level_rows(const CircuitGraph& g, int dim,
+                                                  std::uint64_t seed) {
+  std::vector<nn::Matrix> mats;
+  mats.reserve(static_cast<std::size_t>(g.num_levels));
+  for (const auto& nodes : g.nodes_at_level)
+    mats.emplace_back(static_cast<int>(nodes.size()), dim);  // zero-initialized
+  const MemberLevelRows rows = member_level_rows(g);
+  for (std::size_t m = 0; m < g.members.size(); ++m) {
+    util::Rng rng(seed ^ kH0SeedMix);
+    for (int L = 0; L < g.members[m].num_levels; ++L) {
+      const std::size_t cell =
+          m * static_cast<std::size_t>(g.num_levels) + static_cast<std::size_t>(L);
+      const nn::Matrix block = random_rows(rows.count[cell], dim, rng);
+      for (int r = 0; r < block.rows(); ++r)
+        std::copy(block.row_ptr(r), block.row_ptr(r) + dim,
+                  mats[static_cast<std::size_t>(L)].row_ptr(rows.start[cell] + r));
+    }
+  }
+  return mats;
+}
+
 }  // namespace
 
 std::vector<Tensor> init_level_states(const CircuitGraph& g, int dim, bool random_init,
                                       std::uint64_t seed) {
-  util::Rng rng(seed ^ 0xd1f7a2b3c4e5f607ULL);
   std::vector<Tensor> states;
   states.reserve(static_cast<std::size_t>(g.num_levels));
+  if (random_init && g.is_batch()) {
+    for (nn::Matrix& m : batched_random_level_rows(g, dim, seed))
+      states.push_back(nn::constant(std::move(m)));
+    return states;
+  }
+  util::Rng rng(seed ^ kH0SeedMix);
   for (const auto& nodes : g.nodes_at_level) {
     nn::Matrix m = random_init ? random_rows(static_cast<int>(nodes.size()), dim, rng)
                                : padded_onehot_rows(nodes, g, dim);
@@ -102,7 +160,19 @@ std::vector<Tensor> init_level_states(const CircuitGraph& g, int dim, bool rando
 
 Tensor init_full_state(const CircuitGraph& g, int dim, bool random_init, std::uint64_t seed) {
   if (random_init) {
-    util::Rng rng(seed ^ 0xd1f7a2b3c4e5f607ULL);
+    if (g.is_batch()) {
+      // Member node ids are contiguous, so each member's h0 block lands on
+      // rows [node_offset, node_offset + num_nodes) — replayed per member.
+      nn::Matrix m(g.num_nodes, dim);
+      for (const GraphMember& mem : g.members) {
+        util::Rng rng(seed ^ kH0SeedMix);
+        const nn::Matrix block = random_rows(mem.num_nodes, dim, rng);
+        for (int r = 0; r < block.rows(); ++r)
+          std::copy(block.row_ptr(r), block.row_ptr(r) + dim, m.row_ptr(mem.node_offset + r));
+      }
+      return nn::constant(std::move(m));
+    }
+    util::Rng rng(seed ^ kH0SeedMix);
     return nn::constant(random_rows(g.num_nodes, dim, rng));
   }
   nn::Matrix m(g.num_nodes, dim);
@@ -162,8 +232,19 @@ void DirectedLayer::run(const CircuitGraph& g, std::vector<Tensor>& states,
     const Tensor m = agg_->forward(h_src, queries[static_cast<std::size_t>(L)], batch.seg,
                                    num_dst, inv_deg, pe);
     const Tensor input = refeed_ ? nn::concat_cols(m, x_lvl[static_cast<std::size_t>(L)]) : m;
-    states[static_cast<std::size_t>(L)] =
-        gru_.forward(input, states[static_cast<std::size_t>(L)]);
+    const Tensor updated = gru_.forward(input, states[static_cast<std::size_t>(L)]);
+    if (!batch.masked()) {
+      states[static_cast<std::size_t>(L)] = updated;
+      return;
+    }
+    // Batched graph with members that skip this level when alone: keep their
+    // rows' previous states via an exact row select (bitwise, no blending).
+    std::vector<int> pick(static_cast<std::size_t>(num_dst));
+    for (int r = 0; r < num_dst; ++r)
+      pick[static_cast<std::size_t>(r)] =
+          batch.update_rows[static_cast<std::size_t>(r)] != 0 ? r : num_dst + r;
+    states[static_cast<std::size_t>(L)] = nn::gather_rows(
+        nn::concat_rows({updated, states[static_cast<std::size_t>(L)]}), std::move(pick));
   };
 
   if (!reversed_) {

@@ -45,6 +45,12 @@ class Model {
     return predict(g);
   }
 
+  /// The iteration count predict_iterations(g, requested) actually runs:
+  /// recurrent models honor requested > 0; stacked models are fixed at
+  /// construction and silently ignore the override — callers that sweep T
+  /// (Sec. IV-D.2) must consult this to avoid misreporting stacked results.
+  virtual int effective_iterations(int /*requested*/) const { return cfg_.iterations; }
+
   /// Final node embeddings (N x d) — the learned representation the paper
   /// positions as the reusable artifact for downstream EDA tasks.
   virtual nn::Tensor embed(const CircuitGraph& g) const = 0;

@@ -26,6 +26,18 @@ struct TrainConfig {
   std::uint64_t seed = 1;    ///< shuffling
   bool verbose = false;      ///< log per-epoch loss
   int threads = 0;           ///< data-parallel workers; 0 = DEEPGATE_THREADS
+  bool merged_forward = false;  ///< forward each optimizer batch as ONE
+                                ///< level-merged super-graph (CircuitGraph::
+                                ///< merge; batches mixing num_types/pe_L
+                                ///< split at the incompatible boundary)
+                                ///< instead of graph-per-worker replicas.
+                                ///< Honored by train() and train_streaming().
+                                ///< Same objective (per-graph mean L1,
+                                ///< batch-averaged); parallelism comes from
+                                ///< the kernels over the bigger batch.
+                                ///< Losses match the replica path to float
+                                ///< tolerance (backward accumulation order
+                                ///< differs).
 };
 
 struct TrainResult {

@@ -250,6 +250,114 @@ TEST(ShardIoGolden, GoldenFileParsesToKnownContent) {
   expect_records_equal(golden_records(), loaded);
 }
 
+// -- ShardStream LRU + read-ahead ---------------------------------------------
+
+/// Three distinct single-record shards; returns their paths.
+std::vector<std::string> make_shard_trio(const fs::path& dir) {
+  std::vector<std::string> paths;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    gnn::CircuitGraph g = golden_graph_a();
+    g.labels[0] = 0.125F * static_cast<float>(i + 1);  // tell shards apart
+    g.finalize(g.pe_L);
+    const fs::path path = dir / ("stream_shard_" + std::to_string(i) + ".dgsh");
+    EXPECT_TRUE(write_shard(path.string(), 9, 9, i, {{g, {"EPFL", 5, 3}}}));
+    paths.push_back(path.string());
+  }
+  return paths;
+}
+
+std::vector<std::vector<gnn::CircuitGraph>> drain_epochs(ShardStream& stream, int epochs) {
+  std::vector<std::vector<gnn::CircuitGraph>> chunks;
+  for (int e = 0; e < epochs; ++e) {
+    if (e > 0) stream.reset();
+    std::vector<gnn::CircuitGraph> chunk;
+    while (stream.next(chunk)) chunks.push_back(chunk);
+  }
+  return chunks;
+}
+
+TEST(ShardStreamOptions, KnobsDoNotChangeTheSequence) {
+  const fs::path dir = temp_dir();
+  const auto paths = make_shard_trio(dir);
+
+  ShardStream plain(paths);
+  const auto baseline = drain_epochs(plain, 2);
+  ASSERT_EQ(baseline.size(), 6u);
+
+  for (const StreamOptions opts : {StreamOptions{2, false}, StreamOptions{0, true},
+                                   StreamOptions{2, true}, StreamOptions{8, true}}) {
+    ShardStream stream(paths, opts);
+    const auto chunks = drain_epochs(stream, 2);
+    ASSERT_EQ(chunks.size(), baseline.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      ASSERT_EQ(chunks[c].size(), baseline[c].size());
+      for (std::size_t i = 0; i < chunks[c].size(); ++i)
+        EXPECT_TRUE(gnn::bit_equal(chunks[c][i], baseline[c][i]))
+            << "lru=" << opts.lru_shards << " ra=" << opts.readahead << " chunk " << c;
+    }
+  }
+}
+
+TEST(ShardStreamOptions, LruBoundsResidencyAndServesRepeats) {
+  const fs::path dir = temp_dir();
+  const auto paths = make_shard_trio(dir);
+
+  // Capacity >= shard count: epoch 2+ is served entirely from memory.
+  ShardStream cached(paths, StreamOptions{8, false});
+  drain_epochs(cached, 3);
+  EXPECT_EQ(cached.disk_loads(), 3u);
+  EXPECT_EQ(cached.lru_hits(), 6u);
+
+  // Capacity 1 with 3 shards cycling: every access evicts, never hits.
+  ShardStream tight(paths, StreamOptions{1, false});
+  drain_epochs(tight, 2);
+  EXPECT_EQ(tight.disk_loads(), 6u);
+  EXPECT_EQ(tight.lru_hits(), 0u);
+}
+
+TEST(ShardStreamOptions, ReadaheadPrefetchesAndSurvivesReset) {
+  const fs::path dir = temp_dir();
+  const auto paths = make_shard_trio(dir);
+
+  ShardStream stream(paths, StreamOptions{0, true});
+  const auto chunks = drain_epochs(stream, 2);
+  EXPECT_EQ(chunks.size(), 6u);
+  // Shard 0 of epoch 1 is a cold load (no prefetch had been scheduled);
+  // everything after can come off the prefetch thread. Exact counts depend
+  // on timing only in that a prefetch is always *taken* when scheduled for
+  // the right index — which the sequential cursor guarantees.
+  EXPECT_GE(stream.prefetch_hits(), 4u);
+  EXPECT_EQ(stream.disk_loads(), 6u);
+}
+
+TEST(ShardStreamOptions, ReadaheadSkipsCorruptShards) {
+  const fs::path dir = temp_dir();
+  auto paths = make_shard_trio(dir);
+  // Corrupt the middle shard's payload.
+  auto bytes = read_file(paths[1]);
+  bytes[bytes.size() / 2] ^= 0xFF;
+  write_file(paths[1], bytes);
+
+  ShardStream stream(paths, StreamOptions{2, true});
+  std::vector<gnn::CircuitGraph> chunk;
+  int chunks = 0;
+  while (stream.next(chunk)) ++chunks;
+  EXPECT_EQ(chunks, 2);  // the corrupt shard is skipped with a warning
+}
+
+TEST(ShardStreamOptions, FromEnvParsesKnobs) {
+  ::setenv("DEEPGATE_SHARD_LRU", "5", 1);
+  ::setenv("DEEPGATE_SHARD_READAHEAD", "1", 1);
+  const StreamOptions opts = StreamOptions::from_env();
+  EXPECT_EQ(opts.lru_shards, 5u);
+  EXPECT_TRUE(opts.readahead);
+  ::unsetenv("DEEPGATE_SHARD_LRU");
+  ::unsetenv("DEEPGATE_SHARD_READAHEAD");
+  const StreamOptions off = StreamOptions::from_env();
+  EXPECT_EQ(off.lru_shards, 0u);
+  EXPECT_FALSE(off.readahead);
+}
+
 TEST(ShardIoGolden, WriterReproducesGoldenBytes) {
   if (std::getenv("DG_REGEN_GOLDEN") != nullptr) GTEST_SKIP();
   const fs::path dir = temp_dir();
