@@ -1,0 +1,221 @@
+// Serving-loop load generator: the async admission-queue server
+// (serve::Server) vs the PR 3 offline path (deepgate::BatchRunner) at EQUAL
+// thread count, plus an open-loop arrival schedule for latency percentiles.
+//
+// Modes:
+//   offline      BatchRunner::predict over the whole request list, repeated —
+//                the caller-driven baseline the serving loop must match.
+//   serve_burst  every request submitted at once (closed bursts, one per
+//                rep); measures serving throughput including batcher/queue
+//                overhead and the merge-cache effect on repeated traffic.
+//   serve_open   open-loop generator: requests submitted on a fixed
+//                inter-arrival schedule at ~70% of burst throughput,
+//                independent of completions — the classic serving-latency
+//                measurement. Reports p50/p99/max request latency from the
+//                server-side accounting carried on each Response.
+//
+// Every served probability vector is cross-checked bitwise against the
+// direct Engine single-graph path. Honors --json out.json /
+// DEEPGATE_BENCH_JSON (BENCH_micro_serve_loop.json in CI).
+#include "harness.hpp"
+
+#include "core/batch_runner.hpp"
+#include "core/deepgate.hpp"
+#include "data/generators_large.hpp"
+#include "serve/server.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Workload {
+  int num_graphs;    // circuits in one request round
+  int sim_patterns;  // label simulation (prep only)
+  int reps;          // rounds of the full request list
+};
+
+Workload workload_for(dg::util::BenchScale scale) {
+  switch (scale) {
+    case dg::util::BenchScale::kTiny: return {12, 2000, 3};
+    case dg::util::BenchScale::kPaper: return {96, 10000, 5};
+    case dg::util::BenchScale::kSmall: break;
+  }
+  return {32, 5000, 4};
+}
+
+double percentile_ms(std::vector<double> seconds, double q) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const std::size_t idx = std::min(
+      seconds.size() - 1, static_cast<std::size_t>(q * static_cast<double>(seconds.size())));
+  return seconds[idx] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  bench::Context ctx = bench::make_context(argc, argv);
+  bench::print_banner("micro_serve_loop: async serving loop vs offline BatchRunner", ctx);
+
+  const Workload wl = workload_for(ctx.scale);
+  const int threads = util::default_num_threads();
+  const int total_requests = wl.num_graphs * wl.reps;
+
+  // Mixed-size serving workload (same shape as micro_serving).
+  std::vector<gnn::CircuitGraph> graphs;
+  std::size_t round_nodes = 0;
+  for (int i = 0; i < wl.num_graphs; ++i) {
+    const aig::Aig a = (i % 2 == 0) ? data::gen_squarer(5 + (i % 4))
+                                    : data::gen_multiplier(3 + (i % 3));
+    graphs.push_back(deepgate::prepare(a, static_cast<std::size_t>(wl.sim_patterns),
+                                       ctx.seed + static_cast<std::uint64_t>(i)));
+    round_nodes += static_cast<std::size_t>(graphs.back().num_nodes);
+  }
+  std::vector<const gnn::CircuitGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+  std::printf("workload: %d graphs/round x %d rounds, %zu nodes/round, threads=%d\n\n",
+              wl.num_graphs, wl.reps, round_nodes, threads);
+
+  deepgate::Options options;
+  options.model = ctx.model;
+  const deepgate::Engine engine(options);
+
+  std::vector<std::vector<float>> reference;
+  reference.reserve(graphs.size());
+  for (const auto& g : graphs) reference.push_back(engine.predict_probabilities(g));
+  const auto check = [&](std::size_t request, const std::vector<float>& probs) {
+    if (probs != reference[request % reference.size()]) {
+      std::fprintf(stderr, "FAIL: served prediction diverged from single path (request %zu)\n",
+                   request);
+      std::exit(1);
+    }
+  };
+
+  util::TextTable table(
+      {"mode", "threads", "seconds", "graphs/s", "p50 ms", "p99 ms", "cache hit"});
+  std::vector<bench::JsonRecord> records;
+  double offline_gps = 0.0;
+  const auto record = [&](const char* mode, double seconds,
+                          const std::vector<double>& latencies, std::uint64_t cache_hits,
+                          std::uint64_t cache_misses, std::uint64_t batches) {
+    const double gps = static_cast<double>(total_requests) / seconds;
+    const double nps = static_cast<double>(round_nodes) * wl.reps / seconds;
+    const double p50 = percentile_ms(latencies, 0.50);
+    const double p99 = percentile_ms(latencies, 0.99);
+    const double pmax = percentile_ms(latencies, 1.0);
+    if (offline_gps == 0.0) offline_gps = gps;
+    table.add_row({mode, std::to_string(threads), util::fmt_fixed(seconds, 4),
+                   util::fmt_fixed(gps, 1), latencies.empty() ? "-" : util::fmt_fixed(p50, 2),
+                   latencies.empty() ? "-" : util::fmt_fixed(p99, 2),
+                   std::to_string(cache_hits)});
+    records.push_back(bench::JsonRecord{}
+                          .str("mode", mode)
+                          .num("threads", threads)
+                          .num("seconds", seconds)
+                          .num("graphs_per_sec", gps)
+                          .num("nodes_per_sec", nps)
+                          .num("p50_ms", p50)
+                          .num("p99_ms", p99)
+                          .num("max_ms", pmax)
+                          .num("batches", static_cast<double>(batches))
+                          .num("merge_cache_hits", static_cast<double>(cache_hits))
+                          .num("merge_cache_misses", static_cast<double>(cache_misses))
+                          .num("speedup_vs_offline", gps / offline_gps));
+  };
+
+  // -- offline: the PR 3 caller-driven path at the same thread count ----------
+  {
+    deepgate::BatchOptions bopts = deepgate::BatchOptions::from_env();
+    bopts.threads = threads;
+    const deepgate::BatchRunner runner(engine, bopts);
+    std::vector<std::vector<float>> out;
+    util::Timer t;
+    for (int rep = 0; rep < wl.reps; ++rep) {
+      out = runner.predict(ptrs);
+      for (std::size_t i = 0; i < out.size(); ++i) check(i, out[i]);
+    }
+    record("offline", t.seconds(), {}, 0, 0, runner.stats().batches);
+  }
+
+  deepgate::serve::ServerOptions sopts = deepgate::serve::ServerOptions::from_env();
+  sopts.lanes = threads;
+  sopts.queue_capacity = static_cast<std::size_t>(total_requests) + 1;
+  // Close a window as soon as one full request round is admitted: bursts
+  // would otherwise sit out max_batch_delay on every underfull round, which
+  // benchmarks the deadline knob rather than the serving path.
+  sopts.max_graphs = std::min<std::size_t>(sopts.max_graphs, static_cast<std::size_t>(wl.num_graphs));
+
+  // -- serve_burst: closed bursts through the admission queue -----------------
+  double burst_gps;
+  {
+    auto server = deepgate::serve::start(engine, sopts);
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(total_requests));
+    util::Timer t;
+    for (int rep = 0; rep < wl.reps; ++rep) {
+      std::vector<std::future<deepgate::serve::Response>> futures;
+      futures.reserve(ptrs.size());
+      for (const auto* g : ptrs) futures.push_back(server->submit({g}));
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        deepgate::serve::Response r = futures[i].get();
+        check(i, r.probabilities);
+        latencies.push_back(r.latency_seconds);
+      }
+    }
+    const double seconds = t.seconds();
+    burst_gps = static_cast<double>(total_requests) / seconds;
+    const auto stats = server->stats();
+    record("serve_burst", seconds, latencies, stats.merge_cache_hits, stats.merge_cache_misses,
+           stats.batches);
+  }
+
+  // -- serve_open: open-loop fixed-rate arrivals at ~70% of burst capacity ----
+  {
+    auto server = deepgate::serve::start(engine, sopts);
+    const double rate = 0.7 * burst_gps;  // offered load below saturation
+    const auto interval = std::chrono::duration<double>(1.0 / rate);
+    std::vector<std::future<deepgate::serve::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(total_requests));
+    util::Timer t;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < total_requests; ++k) {
+      // Fixed schedule: request k is due at t0 + k*interval, regardless of
+      // completions (open loop). Sleep only if we're early.
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(interval * k));
+      futures.push_back(server->submit({ptrs[static_cast<std::size_t>(k) % ptrs.size()]}));
+    }
+    std::vector<double> latencies;
+    latencies.reserve(futures.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      deepgate::serve::Response r = futures[i].get();
+      check(i, r.probabilities);
+      latencies.push_back(r.latency_seconds);
+    }
+    const double seconds = t.seconds();
+    const auto stats = server->stats();
+    record("serve_open", seconds, latencies, stats.merge_cache_hits, stats.merge_cache_misses,
+           stats.batches);
+    std::printf("%s\n", table.render().c_str());
+    std::printf("serve_open: %d req at %.1f req/s offered; close reasons "
+                "budget=%llu max_graphs=%llu deadline=%llu drain=%llu\n",
+                total_requests, rate,
+                static_cast<unsigned long long>(stats.close_budget),
+                static_cast<unsigned long long>(stats.close_max_graphs),
+                static_cast<unsigned long long>(stats.close_deadline),
+                static_cast<unsigned long long>(stats.close_drain));
+  }
+
+  std::printf("equivalence: served == single-graph path on all %d requests x 3 modes\n",
+              total_requests);
+  if (!bench::write_json_report(ctx, "micro_serve_loop", records)) return 1;
+  if (!ctx.json_path.empty()) std::printf("json report: %s\n", ctx.json_path.c_str());
+  return 0;
+}

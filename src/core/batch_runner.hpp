@@ -5,7 +5,9 @@
 // shared thread pool, so serving cost scales with total node count rather
 // than graph count. Outputs are scattered back per graph in request order
 // and are bit-exact with the one-graph-per-call path (exactly equal for a
-// batch of one).
+// batch of one). Degenerate requests are graceful: an empty request vector
+// and zero-node graphs yield empty per-graph results without merging or
+// forwarding anything.
 //
 //   deepgate::Engine engine(options);
 //   deepgate::BatchRunner runner(engine);           // knobs from env

@@ -8,6 +8,9 @@
 #include "synth/optimize.hpp"
 #include "synth/sweep.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 namespace deepgate {
 
 CircuitGraph prepare(const dg::netlist::Netlist& nl, std::size_t patterns, std::uint64_t seed) {
@@ -66,18 +69,40 @@ dg::nn::Matrix Engine::embeddings(const CircuitGraph& g) const {
   return model_->embed(g).value();
 }
 
+namespace {
+
+/// Batch members with nodes to forward, and their request positions — an
+/// empty request vector or zero-node graphs must short-circuit (no merge)
+/// rather than rely on callers pre-filtering degenerate requests.
+std::pair<std::vector<const CircuitGraph*>, std::vector<std::size_t>> live_members(
+    const std::vector<const CircuitGraph*>& batch) {
+  std::pair<std::vector<const CircuitGraph*>, std::vector<std::size_t>> live;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i] == nullptr)
+      throw std::invalid_argument("Engine batch inference: null graph");
+    if (batch[i]->num_nodes == 0) continue;
+    live.first.push_back(batch[i]);
+    live.second.push_back(i);
+  }
+  return live;
+}
+
+}  // namespace
+
 std::vector<std::vector<float>> Engine::predict_batch(
     const std::vector<const CircuitGraph*>& batch) const {
   std::vector<std::vector<float>> out(batch.size());
-  if (batch.empty()) return out;
+  const auto [live, index] = live_members(batch);
+  if (live.empty()) return out;
   dg::nn::NoGradGuard no_grad;
-  const CircuitGraph merged = CircuitGraph::merge(batch);
+  const CircuitGraph merged = CircuitGraph::merge(live);
   const dg::nn::Matrix pred = model_->predict(merged).value();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  for (std::size_t i = 0; i < live.size(); ++i) {
     const dg::gnn::GraphMember& m = merged.members[i];
-    out[i].resize(static_cast<std::size_t>(m.num_nodes));
+    auto& slot = out[index[i]];
+    slot.resize(static_cast<std::size_t>(m.num_nodes));
     for (int v = 0; v < m.num_nodes; ++v)
-      out[i][static_cast<std::size_t>(v)] = pred.at(m.node_offset + v, 0);
+      slot[static_cast<std::size_t>(v)] = pred.at(m.node_offset + v, 0);
   }
   return out;
 }
@@ -85,14 +110,17 @@ std::vector<std::vector<float>> Engine::predict_batch(
 std::vector<dg::nn::Matrix> Engine::embeddings_batch(
     const std::vector<const CircuitGraph*>& batch) const {
   std::vector<dg::nn::Matrix> out(batch.size());
-  if (batch.empty()) return out;
+  const auto [live, index] = live_members(batch);
+  if (live.empty()) return out;
   dg::nn::NoGradGuard no_grad;
-  const CircuitGraph merged = CircuitGraph::merge(batch);
+  const CircuitGraph merged = CircuitGraph::merge(live);
   const dg::nn::Matrix emb = model_->embed(merged).value();
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    out[i] = dg::gnn::member_rows(emb, merged.members[i]);
+  for (std::size_t i = 0; i < live.size(); ++i)
+    out[index[i]] = dg::gnn::member_rows(emb, merged.members[i]);
   return out;
 }
+
+std::unique_ptr<dg::gnn::Model> Engine::clone_model() const { return model_->clone(); }
 
 int Engine::effective_iterations(int requested) const {
   const int effective = model_->effective_iterations(requested);

@@ -10,7 +10,9 @@
 //
 // For serving many graphs, deepgate::BatchRunner (core/batch_runner.hpp)
 // packs them into node-budgeted merged batches and fans out across the
-// thread pool.
+// thread pool. For a true asynchronous serving loop — bounded admission
+// queue, deadline/budget batch formation, futures, backpressure — see
+// deepgate::serve() in serve/server.hpp.
 //
 // Everything here delegates to the dg::* subsystem libraries; nothing in the
 // facade is required to use them directly.
@@ -100,12 +102,20 @@ class Engine {
   /// union of `batch` (CircuitGraph::merge), outputs scattered back per
   /// graph. Bit-exact with per-graph predict_probabilities/embeddings
   /// (exactly equal for a batch of one). All graphs must share
-  /// num_types/pe_L; throws std::invalid_argument otherwise. For
+  /// num_types/pe_L; throws std::invalid_argument otherwise (and on null
+  /// entries). An empty request vector and zero-node graphs are served
+  /// gracefully: empty per-graph results, no merge, no forward. For
   /// node-budgeted packing + pool fan-out over many graphs, use BatchRunner.
   std::vector<std::vector<float>> predict_batch(
       const std::vector<const CircuitGraph*>& batch) const;
   std::vector<dg::nn::Matrix> embeddings_batch(
       const std::vector<const CircuitGraph*>& batch) const;
+
+  /// Fresh deep copy of the model (identical architecture and current
+  /// parameter values) — the replica factory for serve worker lanes: each
+  /// lane owns its clone, so forwards never share mutable state across
+  /// lanes, and clone forwards are bit-exact with the engine's own.
+  std::unique_ptr<dg::gnn::Model> clone_model() const;
 
   /// The iteration count inference actually runs for `requested` (Sec.
   /// IV-D.2 sweeps): recurrent models honor requested > 0, stacked models

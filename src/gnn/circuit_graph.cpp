@@ -297,6 +297,46 @@ std::vector<std::pair<std::size_t, std::size_t>> plan_node_batches(
   return plan;
 }
 
+std::vector<std::vector<std::size_t>> plan_node_batches_by_depth(
+    const std::vector<const CircuitGraph*>& graphs, std::size_t node_budget,
+    std::size_t max_graphs) {
+  std::vector<std::vector<std::size_t>> groups;
+  if (graphs.empty()) return groups;
+  const std::size_t cap = max_graphs == 0 ? 1 : max_graphs;
+
+  // Order by merge-compatibility class, then depth, then request index. The
+  // final index tie-break keeps the plan deterministic for any input order.
+  std::vector<std::size_t> order(graphs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const CircuitGraph* ga = graphs[a];
+    const CircuitGraph* gb = graphs[b];
+    if (ga->num_types != gb->num_types) return ga->num_types < gb->num_types;
+    if (ga->pe_L != gb->pe_L) return ga->pe_L < gb->pe_L;
+    if (ga->num_levels != gb->num_levels) return ga->num_levels < gb->num_levels;
+    return a < b;
+  });
+
+  std::size_t nodes = 0;
+  for (const std::size_t i : order) {
+    const CircuitGraph* g = graphs[i];
+    const std::size_t n = static_cast<std::size_t>(g->num_nodes);
+    const bool open = !groups.empty() && !groups.back().empty();
+    const CircuitGraph* head = open ? graphs[groups.back().front()] : nullptr;
+    const bool incompatible =
+        open && (g->num_types != head->num_types || g->pe_L != head->pe_L ||
+                 g->is_batch() || head->is_batch());
+    if (!open || incompatible || node_budget == 0 || nodes + n > node_budget ||
+        groups.back().size() >= cap) {
+      groups.emplace_back();
+      nodes = 0;
+    }
+    groups.back().push_back(i);
+    nodes += n;
+  }
+  return groups;
+}
+
 void CircuitGraph::serialize(std::vector<std::uint8_t>& out) const {
   using util::put_f32;
   using util::put_i32;

@@ -151,4 +151,17 @@ std::vector<std::pair<std::size_t, std::size_t>> plan_node_batches(
     const std::vector<const CircuitGraph*>& graphs, std::size_t node_budget,
     std::size_t max_graphs);
 
+/// Depth-aware packing: like plan_node_batches but free to reorder, grouping
+/// graphs of similar level depth so a merged batch wastes fewer masked tail
+/// levels (a shallow member inside a deep batch sits idle for every level
+/// above its own). Returns groups of indices into `graphs` rather than
+/// contiguous ranges. Deterministic: indices are ordered by
+/// (num_types, pe_L) compatibility class, then depth, then index, and packed
+/// greedily under the same budget/cap rules (node_budget == 0 -> singleton
+/// groups; a lone over-budget graph gets a group of its own). Every index
+/// appears in exactly one group.
+std::vector<std::vector<std::size_t>> plan_node_batches_by_depth(
+    const std::vector<const CircuitGraph*>& graphs, std::size_t node_budget,
+    std::size_t max_graphs);
+
 }  // namespace dg::gnn

@@ -37,21 +37,35 @@ std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
                             const std::function<nn::Tensor(const CircuitGraph&)>& forward,
                             const std::function<void(std::size_t, nn::Matrix)>& sink) {
   if (graphs.empty()) return 0;
-  const auto plan = plan_node_batches(graphs, opts.node_budget, opts.max_graphs);
+  // Zero-node graphs have nothing to forward or merge: hand them an empty
+  // row block directly so callers need not pre-filter degenerate requests.
+  std::vector<const CircuitGraph*> live;
+  std::vector<std::size_t> live_index;
+  live.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs[i]->num_nodes == 0)
+      sink(i, nn::Matrix());
+    else {
+      live.push_back(graphs[i]);
+      live_index.push_back(i);
+    }
+  }
+  if (live.empty()) return 0;
+  const auto plan = plan_node_batches(live, opts.node_budget, opts.max_graphs);
 
   const auto run_batch = [&](std::size_t b) {
     const auto [begin, end] = plan[b];
     if (end - begin == 1) {
-      sink(begin, forward(*graphs[begin]).value());
+      sink(live_index[begin], forward(*live[begin]).value());
       return;
     }
     const std::vector<const CircuitGraph*> parts(
-        graphs.begin() + static_cast<std::ptrdiff_t>(begin),
-        graphs.begin() + static_cast<std::ptrdiff_t>(end));
+        live.begin() + static_cast<std::ptrdiff_t>(begin),
+        live.begin() + static_cast<std::ptrdiff_t>(end));
     const CircuitGraph merged = CircuitGraph::merge(parts);
     const nn::Tensor out = forward(merged);  // keeps .value() alive below
     for (std::size_t i = begin; i < end; ++i)
-      sink(i, member_rows(out.value(), merged.members[i - begin]));
+      sink(live_index[i], member_rows(out.value(), merged.members[i - begin]));
   };
 
   const int requested = opts.threads > 0 ? opts.threads : util::default_num_threads();

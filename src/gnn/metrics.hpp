@@ -50,7 +50,9 @@ struct EvalOptions : ServeOptions {
 /// claimed dynamically, each under its own NoGradGuard — and hand every
 /// graph its own output rows via `sink(graph_index, rows)`. sink may run on
 /// pool workers but is called exactly once per index, so writes to
-/// per-index slots need no locking. Returns the number of batches run.
+/// per-index slots need no locking. Zero-node graphs are never forwarded or
+/// merged — their sink receives an empty matrix (callers need not
+/// pre-filter degenerate requests). Returns the number of batches run.
 std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
                             const ServeOptions& opts,
                             const std::function<nn::Tensor(const CircuitGraph&)>& forward,

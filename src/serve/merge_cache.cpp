@@ -1,0 +1,75 @@
+#include "serve/merge_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace deepgate::serve {
+
+using dg::gnn::CircuitGraph;
+
+MergeCache::MergeCache(std::size_t capacity) : capacity_(capacity), cache_(capacity) {}
+
+std::uint64_t MergeCache::signature(const std::vector<const CircuitGraph*>& parts) {
+  dg::util::Fnv1a h;
+  h.u64(parts.size());
+  for (const CircuitGraph* g : parts) {
+    h.u64(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(g)));
+    // Full structural content (types, levels, edges) folds into the key, so
+    // pointer aliasing from a freed-and-reallocated graph at the same
+    // address cannot serve a stale merge without a genuine 64-bit hash
+    // collision. O(N+E) per member per lookup — noise next to the model
+    // forward the hit saves, and far cheaper than the merge it avoids.
+    h.i32(g->num_nodes);
+    h.i32(g->num_levels);
+    h.i32(g->num_types);
+    h.i32(g->pe_L);
+    for (const int t : g->type_id) h.i32(t);
+    for (const int l : g->level) h.i32(l);
+    h.u64(g->edges.size());
+    for (const auto& [src, dst] : g->edges) {
+      h.i32(src);
+      h.i32(dst);
+    }
+    h.u64(g->skip_edges.size());
+    for (const auto& e : g->skip_edges) {
+      h.i32(e.src);
+      h.i32(e.dst);
+      h.i32(e.level_diff);
+    }
+  }
+  return h.digest();
+}
+
+std::shared_ptr<const CircuitGraph> MergeCache::merged(
+    const std::vector<const CircuitGraph*>& parts) {
+  if (capacity_ == 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.misses += 1;
+    }
+    return std::make_shared<const CircuitGraph>(CircuitGraph::merge(parts));
+  }
+  const std::uint64_t key = signature(parts);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto* hit = cache_.get(key)) {
+      stats_.hits += 1;
+      return *hit;
+    }
+    stats_.misses += 1;
+  }
+  // Merge outside the lock: finalize() is the expensive part and must not
+  // serialize the worker lanes.
+  auto built = std::make_shared<const CircuitGraph>(CircuitGraph::merge(parts));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.put(key, built);
+  return built;
+}
+
+MergeCacheStats MergeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeCacheStats snapshot = stats_;
+  snapshot.entries = cache_.size();
+  return snapshot;
+}
+
+}  // namespace deepgate::serve

@@ -1,0 +1,125 @@
+// Bounded MPMC queue — the admission front end of the serving loop.
+//
+// Semantics the server relies on:
+//  - push/try_push move from the caller's slot ONLY on success, so a caller
+//    whose item was refused (full or closed queue) still owns it and can
+//    fulfill its promise with an explicit status instead of leaking a
+//    broken_promise.
+//  - pop_until distinguishes "got an item", "deadline passed" and "closed
+//    and drained" — the batcher turns the first into batch growth, the
+//    second into a deadline-closed batch and the third into shutdown.
+//  - close() wakes every waiter; pops keep draining remaining items (drain
+//    overrides pause), pushes fail from then on. Deterministic shutdown
+//    builds on this: nothing enqueued before close() is ever lost.
+//  - set_pop_paused(true) gates consumers without touching producers: items
+//    accumulate until capacity and try_push reports kFull — how both the
+//    backpressure tests and an operational "hold admissions" switch get a
+//    deterministic full-queue state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace deepgate::serve {
+
+enum class PushResult { kOk, kFull, kClosed };
+enum class PopResult { kItem, kTimeout, kClosed };
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` < 1 is clamped to 1 (a zero-capacity admission queue could
+  /// never accept anything).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocking push: waits while full. Moves from `v` only on kOk; kClosed
+  /// leaves `v` untouched for the caller to dispose of. Never returns kFull.
+  PushResult push(T& v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(v));
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Non-blocking push: kFull instead of waiting. Moves from `v` only on kOk.
+  PushResult try_push(T& v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(v));
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocking pop: waits for an item (or close + drained). Never kTimeout.
+  PopResult pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return poppable_locked(); });
+    return take_locked(out);
+  }
+
+  /// Timed pop: waits until an item is available or `deadline` passes.
+  template <typename Clock, typename Duration>
+  PopResult pop_until(T& out, const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_until(lock, deadline, [&] { return poppable_locked(); }))
+      return PopResult::kTimeout;
+    return take_locked(out);
+  }
+
+  /// Stop accepting items and wake every waiter. Idempotent. Items already
+  /// queued remain poppable (drain).
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Gate consumers: while paused, pops block (or time out) even when items
+  /// are queued — unless the queue is closed, when draining takes priority.
+  void set_pop_paused(bool paused) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pop_paused_ = paused;
+    if (!paused) not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  bool poppable_locked() const {
+    if (closed_) return true;  // item or kClosed, either way wake up
+    return !pop_paused_ && !items_.empty();
+  }
+  PopResult take_locked(T& out) {
+    if (items_.empty()) return PopResult::kClosed;  // only reachable when closed_
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return PopResult::kItem;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool pop_paused_ = false;
+};
+
+}  // namespace deepgate::serve

@@ -1,0 +1,370 @@
+#include "serve/server.hpp"
+
+#include "core/deepgate.hpp"
+#include "gnn/model_common.hpp"
+#include "nn/tensor.hpp"
+#include "util/env.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace deepgate::serve {
+
+using dg::gnn::CircuitGraph;
+
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::vector<float> column_of(const dg::nn::Matrix& rows) {
+  std::vector<float> out(static_cast<std::size_t>(rows.rows()));
+  for (int v = 0; v < rows.rows(); ++v) out[static_cast<std::size_t>(v)] = rows.at(v, 0);
+  return out;
+}
+
+std::vector<float> member_column(const dg::nn::Matrix& full, const dg::gnn::GraphMember& m) {
+  std::vector<float> out(static_cast<std::size_t>(m.num_nodes));
+  for (int v = 0; v < m.num_nodes; ++v) out[static_cast<std::size_t>(v)] = full.at(m.node_offset + v, 0);
+  return out;
+}
+
+}  // namespace
+
+const char* submit_status_name(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kOverloaded: return "overloaded";
+    case SubmitStatus::kStopped: return "stopped";
+    case SubmitStatus::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions opts;
+  const dg::gnn::ServeOptions base = dg::gnn::ServeOptions::from_env();
+  opts.node_budget = base.node_budget;
+  opts.max_graphs = base.max_graphs;
+  const long long lanes = dg::util::env_int("DEEPGATE_SERVE_LANES", -1);
+  if (lanes > 0) opts.lanes = static_cast<int>(lanes);
+  const long long delay_ms = dg::util::env_int("DEEPGATE_SERVE_DELAY_MS", -1);
+  if (delay_ms >= 0) opts.max_batch_delay = std::chrono::microseconds(delay_ms * 1000);
+  const long long cap = dg::util::env_int("DEEPGATE_SERVE_QUEUE_CAP", -1);
+  if (cap > 0) opts.queue_capacity = static_cast<std::size_t>(cap);
+  const long long cache = dg::util::env_int("DEEPGATE_SERVE_CACHE", -1);
+  if (cache >= 0) opts.merge_cache_capacity = static_cast<std::size_t>(cache);
+  opts.depth_aware = dg::util::env_int("DEEPGATE_SERVE_DEPTH_AWARE", 1) != 0;
+  return opts;
+}
+
+Server::Server(const Engine& engine, const ServerOptions& options)
+    : engine_(engine),
+      options_(options),
+      policy_(make_pack_policy(options.depth_aware)),
+      merge_cache_(options.merge_cache_capacity),
+      admission_(options.queue_capacity),
+      // Small handoff buffer: deep enough to keep lanes busy, shallow enough
+      // that backpressure propagates to the admission queue when lanes fall
+      // behind instead of formed batches piling up unboundedly.
+      work_queue_(2 * static_cast<std::size_t>(std::max(
+                          1, options.lanes > 0 ? options.lanes
+                                               : dg::util::default_num_threads()))) {
+  const int lanes = options_.lanes > 0 ? options_.lanes : dg::util::default_num_threads();
+  batcher_ = std::thread([this] { batcher_loop(); });
+  lanes_.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) lanes_.emplace_back([this] { worker_loop(); });
+}
+
+Server::~Server() { shutdown(/*drain=*/true); }
+
+void Server::fail(std::promise<Response>& promise, const char* what) {
+  promise.set_exception(std::make_exception_ptr(ServeError(what)));
+}
+
+std::future<Response> Server::submit(const Request& request) {
+  if (request.graph == nullptr) throw std::invalid_argument("serve::submit: null graph");
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  if (stopped()) {
+    // Keep the shutdown contract uniform: even the zero-node fast path below
+    // must not "serve" on a stopped server.
+    fail(promise, "serve: submitted after shutdown");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rejected_stopped += 1;
+    return future;
+  }
+  if (request.graph->num_nodes == 0) {
+    // Nothing to forward: resolve immediately with an empty response.
+    promise.set_value(Response{});
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.submitted += 1;
+    stats_.served += 1;
+    return future;
+  }
+  Pending pending{request, std::move(promise), Clock::now()};
+  if (admission_.push(pending) == PushResult::kClosed) {
+    fail(pending.promise, "serve: submitted after shutdown");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rejected_stopped += 1;
+    return future;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.submitted += 1;
+  return future;
+}
+
+SubmitStatus Server::try_submit(const Request& request, std::future<Response>& out) {
+  if (request.graph == nullptr) return SubmitStatus::kInvalid;
+  if (stopped()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rejected_stopped += 1;
+    return SubmitStatus::kStopped;
+  }
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  if (request.graph->num_nodes == 0) {
+    promise.set_value(Response{});
+    out = std::move(future);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.submitted += 1;
+    stats_.served += 1;
+    return SubmitStatus::kAccepted;
+  }
+  Pending pending{request, std::move(promise), Clock::now()};
+  switch (admission_.try_push(pending)) {
+    case PushResult::kOk: {
+      out = std::move(future);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.submitted += 1;
+      return SubmitStatus::kAccepted;
+    }
+    case PushResult::kFull: {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.rejected_overload += 1;
+      return SubmitStatus::kOverloaded;
+    }
+    case PushResult::kClosed: {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.rejected_stopped += 1;
+      return SubmitStatus::kStopped;
+    }
+  }
+  return SubmitStatus::kInvalid;  // unreachable
+}
+
+void Server::pause() {
+  if (stopped()) return;
+  admission_.set_pop_paused(true);
+}
+
+void Server::resume() { admission_.set_pop_paused(false); }
+
+void Server::shutdown(bool drain) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  cancel_.store(!drain, std::memory_order_release);
+  // Shutdown overrides pause: a paused server must still drain (or cancel)
+  // deterministically instead of deadlocking on held admissions.
+  admission_.set_pop_paused(false);
+  admission_.close();
+  if (batcher_.joinable()) batcher_.join();
+  // The batcher has pushed its last work item; closing lets lanes drain
+  // what's formed and exit.
+  work_queue_.close();
+  for (std::thread& lane : lanes_) {
+    if (lane.joinable()) lane.join();
+  }
+}
+
+Stats Server::stats() const {
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  const MergeCacheStats cache = merge_cache_.stats();
+  snapshot.merge_cache_hits = cache.hits;
+  snapshot.merge_cache_misses = cache.misses;
+  snapshot.queue_depth = admission_.size();
+  return snapshot;
+}
+
+// -- Batcher ------------------------------------------------------------------
+
+void Server::batcher_loop() {
+  for (;;) {
+    Pending first;
+    if (admission_.pop(first) == PopResult::kClosed) break;
+
+    std::vector<Pending> window;
+    std::size_t window_nodes = static_cast<std::size_t>(first.request.graph->num_nodes);
+    const Clock::time_point deadline = first.admitted + options_.max_batch_delay;
+    window.push_back(std::move(first));
+
+    // Grow the window until the first of: node budget, member cap, oldest
+    // deadline, or shutdown drain. A backed-up queue never waits on the
+    // deadline: pop_until returns queued items immediately even when the
+    // deadline already passed.
+    CloseReason reason;
+    for (;;) {
+      if (window_nodes >= options_.node_budget) {  // budget 0: serve singly
+        reason = CloseReason::kBudget;
+        break;
+      }
+      if (window.size() >= std::max<std::size_t>(1, options_.max_graphs)) {
+        reason = CloseReason::kMaxGraphs;
+        break;
+      }
+      Pending next;
+      const PopResult got = admission_.pop_until(next, deadline);
+      if (got == PopResult::kItem) {
+        window_nodes += static_cast<std::size_t>(next.request.graph->num_nodes);
+        window.push_back(std::move(next));
+        continue;
+      }
+      reason = got == PopResult::kTimeout ? CloseReason::kDeadline : CloseReason::kDrain;
+      break;
+    }
+    dispatch_window(window, reason);
+  }
+}
+
+void Server::dispatch_window(std::vector<Pending>& window, CloseReason reason) {
+  const Clock::time_point closed_at = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.windows += 1;
+    switch (reason) {
+      case CloseReason::kBudget: stats_.close_budget += 1; break;
+      case CloseReason::kMaxGraphs: stats_.close_max_graphs += 1; break;
+      case CloseReason::kDeadline: stats_.close_deadline += 1; break;
+      case CloseReason::kDrain: stats_.close_drain += 1; break;
+    }
+  }
+
+  if (cancel_.load(std::memory_order_acquire)) {
+    for (Pending& pending : window) fail(pending.promise, "serve: cancelled at shutdown");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.cancelled += window.size();
+    return;
+  }
+
+  std::vector<const CircuitGraph*> graphs;
+  graphs.reserve(window.size());
+  for (const Pending& pending : window) graphs.push_back(pending.request.graph);
+
+  for (const std::vector<std::size_t>& group :
+       policy_->pack(graphs, options_.node_budget, options_.max_graphs)) {
+    Work work;
+    work.window_closed = closed_at;
+    work.members.reserve(group.size());
+    for (const std::size_t idx : group) work.members.push_back(std::move(window[idx]));
+    if (work_queue_.push(work) == PushResult::kClosed) {
+      // Only reachable if the work queue were closed early; keep the
+      // no-unfulfilled-futures invariant regardless.
+      for (Pending& pending : work.members) fail(pending.promise, "serve: cancelled at shutdown");
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.cancelled += work.members.size();
+    }
+  }
+}
+
+// -- Worker lanes -------------------------------------------------------------
+
+void Server::worker_loop() {
+  // Lane-owned replica: identical parameters, private mutable state.
+  const std::unique_ptr<dg::gnn::Model> model = engine_.clone_model();
+  // Lanes are the unit of parallelism: nested kernel parallel_for calls run
+  // inline here instead of N lanes contending on the shared pool.
+  const dg::util::InlineParallelGuard inline_kernels;
+  Work work;
+  while (work_queue_.pop(work) == PopResult::kItem) run_work(work, *model);
+}
+
+void Server::run_work(Work& work, const dg::gnn::Model& model) {
+  dg::nn::NoGradGuard no_grad;
+  std::vector<const CircuitGraph*> graphs;
+  graphs.reserve(work.members.size());
+  std::size_t batch_nodes = 0;
+  bool any_embedding = false;
+  for (const Pending& pending : work.members) {
+    graphs.push_back(pending.request.graph);
+    batch_nodes += static_cast<std::size_t>(pending.request.graph->num_nodes);
+    any_embedding = any_embedding || pending.request.want_embedding;
+  }
+
+  std::size_t fulfilled = 0;  // promises already resolved; never re-touched on error
+  try {
+    std::shared_ptr<const CircuitGraph> merged;  // multi-member groups only
+    dg::nn::Matrix pred;
+    dg::nn::Matrix emb;
+    if (graphs.size() == 1) {
+      // Solo group: the literal single-graph code path — trivially bit-exact
+      // with Engine::predict_probabilities.
+      pred = model.predict(*graphs[0]).value();
+      if (any_embedding) emb = model.embed(*graphs[0]).value();
+    } else {
+      merged = merge_cache_.merged(graphs);
+      pred = model.predict(*merged).value();
+      if (any_embedding) emb = model.embed(*merged).value();
+    }
+    const Clock::time_point done = Clock::now();
+
+    double sum_queue = 0.0, sum_service = 0.0, sum_latency = 0.0, max_latency = 0.0;
+    for (std::size_t i = 0; i < work.members.size(); ++i) {
+      Pending& pending = work.members[i];
+      Response response;
+      if (merged == nullptr) {
+        response.probabilities = column_of(pred);
+        if (pending.request.want_embedding) response.embedding = emb;
+      } else {
+        const dg::gnn::GraphMember& m = merged->members[i];
+        response.probabilities = member_column(pred, m);
+        if (pending.request.want_embedding) response.embedding = dg::gnn::member_rows(emb, m);
+      }
+      response.queue_seconds = seconds_between(pending.admitted, work.window_closed);
+      response.service_seconds = seconds_between(work.window_closed, done);
+      response.latency_seconds = seconds_between(pending.admitted, done);
+      response.batch_graphs = graphs.size();
+      response.batch_nodes = batch_nodes;
+      sum_queue += response.queue_seconds;
+      sum_service += response.service_seconds;
+      sum_latency += response.latency_seconds;
+      max_latency = std::max(max_latency, response.latency_seconds);
+      pending.promise.set_value(std::move(response));
+      ++fulfilled;
+    }
+
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.served += work.members.size();
+    stats_.batches += 1;
+    if (graphs.size() >= 2) stats_.merged_batches += 1;
+    stats_.nodes_served += batch_nodes;
+    stats_.sum_batch_utilization +=
+        options_.node_budget == 0
+            ? 1.0
+            : static_cast<double>(batch_nodes) / static_cast<double>(options_.node_budget);
+    stats_.sum_queue_seconds += sum_queue;
+    stats_.sum_service_seconds += sum_service;
+    stats_.sum_latency_seconds += sum_latency;
+    stats_.max_latency_seconds = std::max(stats_.max_latency_seconds, max_latency);
+  } catch (const std::exception& e) {
+    // Only the promises not yet resolved may be failed — set_exception on an
+    // already-satisfied promise throws future_error out of the lane thread.
+    for (std::size_t i = fulfilled; i < work.members.size(); ++i)
+      fail(work.members[i].promise, e.what());
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.served += fulfilled;
+    stats_.failed += work.members.size() - fulfilled;
+  }
+}
+
+std::unique_ptr<Server> start(const Engine& engine, const ServerOptions& options) {
+  return std::make_unique<Server>(engine, options);
+}
+
+}  // namespace deepgate::serve

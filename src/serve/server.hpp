@@ -1,0 +1,237 @@
+// Asynchronous serving loop over deepgate::Engine — the admission-queue
+// front end the ROADMAP calls the "true serving loop".
+//
+//   deepgate::Engine engine(options);
+//   auto server = deepgate::serve::start(engine);        // knobs from env
+//   std::future<serve::Response> f = server->submit({&graph});
+//   const std::vector<float>& probs = f.get().probabilities;
+//
+// Architecture (three stages, two bounded queues):
+//
+//   submit/try_submit --> [admission queue] --> batcher --> [work queue] --> N lanes
+//     (futures out)        bounded MPMC,        closes a     bounded        each lane owns a
+//                          backpressure         window on    handoff        Model::clone(),
+//                                               budget /                    runs the merged
+//                                               max-graphs /                forward, fulfills
+//                                               deadline                    promises
+//
+// - submit() blocks while the admission queue is full; try_submit() instead
+//   reports kOverloaded immediately — explicit backpressure, never silent
+//   drops.
+// - The batcher closes an admission window on whichever comes first:
+//   accumulated nodes >= node_budget, members >= max_graphs, or the OLDEST
+//   queued request's deadline (admission time + max_batch_delay) expiring —
+//   so light traffic pays at most max_batch_delay of batching latency and
+//   heavy traffic forms full batches without waiting. A pluggable PackPolicy
+//   (FIFO or depth-aware) then splits the window into merge groups.
+// - Worker lanes drain formed batches through level-merged forwards
+//   (CircuitGraph::merge via the signature-keyed MergeCache), scatter
+//   per-member rows back, and fulfill the promises. Merged forwards are
+//   bit-exact per member and each lane's clone carries identical parameters,
+//   so a served Response equals a direct Engine::predict_probabilities call
+//   REGARDLESS of how requests happened to be batched.
+// - shutdown(drain=true) serves everything already admitted, then joins;
+//   shutdown(drain=false) cancels queued-but-unformed requests with an
+//   explicit exception (batches already handed to lanes still complete).
+//   Either way every future returned by submit/try_submit is fulfilled —
+//   no unfulfilled futures, deterministically.
+#pragma once
+
+#include "gnn/circuit_graph.hpp"
+#include "nn/matrix.hpp"
+#include "serve/merge_cache.hpp"
+#include "serve/policy.hpp"
+#include "serve/queue.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dg::gnn {
+class Model;
+}
+
+namespace deepgate {
+
+class Engine;
+
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+struct Request {
+  const dg::gnn::CircuitGraph* graph = nullptr;  ///< non-owning; must outlive the future
+  bool want_embedding = false;                   ///< also return the N x d embedding
+};
+
+struct Response {
+  std::vector<float> probabilities;  ///< per-node predicted probability (Eq. 8 output)
+  dg::nn::Matrix embedding;          ///< N x d, only when Request::want_embedding
+
+  // Latency accounting, measured on the serving side.
+  double queue_seconds = 0.0;    ///< admission -> batch window closed
+  double service_seconds = 0.0;  ///< window closed -> response fulfilled
+  double latency_seconds = 0.0;  ///< admission -> response fulfilled
+
+  // The batch composition this request was served in.
+  std::size_t batch_graphs = 0;
+  std::size_t batch_nodes = 0;
+};
+
+enum class SubmitStatus {
+  kAccepted,    ///< future is live, response will arrive
+  kOverloaded,  ///< admission queue full — explicit backpressure, retry later
+  kStopped,     ///< server shut down
+  kInvalid,     ///< null graph
+};
+
+const char* submit_status_name(SubmitStatus status);
+
+struct ServerOptions {
+  std::size_t queue_capacity = 256;  ///< admission queue bound (backpressure point)
+  std::size_t node_budget = 8192;    ///< close a window at this many nodes
+  std::size_t max_graphs = 64;       ///< ... or this many member graphs
+  std::chrono::microseconds max_batch_delay{2000};  ///< ... or the oldest
+                                     ///< request's deadline expiring
+  int lanes = 0;                     ///< worker lanes (model replicas); 0 = DEEPGATE_THREADS
+  bool depth_aware = true;           ///< DepthAwarePack vs FifoPack window packing
+  std::size_t merge_cache_capacity = 32;  ///< merged super-graphs kept; 0 = off
+
+  /// Env knobs: DEEPGATE_SERVE_BUDGET / DEEPGATE_SERVE_MAX_GRAPHS (shared
+  /// with BatchRunner), DEEPGATE_SERVE_LANES, DEEPGATE_SERVE_DELAY_MS,
+  /// DEEPGATE_SERVE_QUEUE_CAP, DEEPGATE_SERVE_CACHE,
+  /// DEEPGATE_SERVE_DEPTH_AWARE.
+  static ServerOptions from_env();
+};
+
+/// Monotonic counters + a queue-depth snapshot. All counters are cumulative
+/// since construction; means derive as sum / count.
+struct Stats {
+  std::uint64_t submitted = 0;          ///< requests admitted (incl. zero-node fast path)
+  std::uint64_t rejected_overload = 0;  ///< try_submit refused: queue full
+  std::uint64_t rejected_stopped = 0;   ///< refused: server stopped
+  std::uint64_t served = 0;             ///< futures fulfilled with a Response
+  std::uint64_t cancelled = 0;          ///< futures failed at cancel-shutdown
+  std::uint64_t failed = 0;             ///< futures failed by a forward error
+
+  std::uint64_t windows = 0;            ///< admission windows closed
+  std::uint64_t batches = 0;            ///< merge groups forwarded
+  std::uint64_t merged_batches = 0;     ///< ... of which had >= 2 members
+  std::uint64_t close_budget = 0;       ///< windows closed on node budget
+  std::uint64_t close_max_graphs = 0;   ///< ... on the member cap
+  std::uint64_t close_deadline = 0;     ///< ... on the oldest deadline
+  std::uint64_t close_drain = 0;        ///< ... by shutdown drain
+
+  std::uint64_t nodes_served = 0;       ///< total nodes across served requests
+  double sum_batch_utilization = 0.0;   ///< sum over batches of nodes/node_budget
+
+  double sum_queue_seconds = 0.0;       ///< admission -> window close, summed
+  double sum_service_seconds = 0.0;     ///< window close -> fulfilled, summed
+  double sum_latency_seconds = 0.0;     ///< admission -> fulfilled, summed
+  double max_latency_seconds = 0.0;
+
+  std::uint64_t merge_cache_hits = 0;
+  std::uint64_t merge_cache_misses = 0;
+
+  std::size_t queue_depth = 0;          ///< admission queue depth at snapshot time
+};
+
+class Server {
+ public:
+  /// Spins up the batcher and `lanes` worker threads immediately. The engine
+  /// must outlive the server; its model parameters are cloned per lane at
+  /// startup, so concurrent training on the engine will NOT be picked up.
+  explicit Server(const Engine& engine, const ServerOptions& options = ServerOptions::from_env());
+  ~Server();  ///< shutdown(/*drain=*/true)
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit a request, blocking while the queue is full. The returned future
+  /// always resolves: with a Response, or with ServeError after a
+  /// cancel-shutdown / submit-after-stop. Throws std::invalid_argument on a
+  /// null graph. Zero-node graphs resolve immediately with an empty
+  /// Response (nothing to forward).
+  std::future<Response> submit(const Request& request);
+
+  /// Non-blocking admission: kAccepted fills `out`; kOverloaded (queue at
+  /// capacity) and kStopped/kInvalid leave it untouched and never block —
+  /// the caller decides whether to retry, shed, or degrade.
+  SubmitStatus try_submit(const Request& request, std::future<Response>& out);
+
+  /// Hold admissions: queued requests stay queued (try_submit eventually
+  /// reports kOverloaded — a deterministic full-queue state for tests and
+  /// maintenance). resume() releases the backlog; shutdown overrides pause.
+  void pause();
+  void resume();
+
+  /// Stop accepting work and join all threads. drain=true serves every
+  /// admitted request first; drain=false fails queued-but-unformed requests
+  /// with ServeError (formed batches still complete). Idempotent; every
+  /// outstanding future is fulfilled either way.
+  void shutdown(bool drain = true);
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  Stats stats() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point admitted;
+  };
+  /// One merge group handed to a worker lane.
+  struct Work {
+    std::vector<Pending> members;
+    Clock::time_point window_closed;
+  };
+
+  void batcher_loop();
+  void worker_loop();
+  void dispatch_window(std::vector<Pending>& window, CloseReason reason);
+  void run_work(Work& work, const dg::gnn::Model& model);
+  static void fail(std::promise<Response>& promise, const char* what);
+
+  const Engine& engine_;
+  const ServerOptions options_;
+  std::unique_ptr<PackPolicy> policy_;
+  MergeCache merge_cache_;
+
+  BoundedQueue<Pending> admission_;
+  BoundedQueue<Work> work_queue_;
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> cancel_{false};
+  std::mutex lifecycle_mu_;  ///< serializes shutdown
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::thread batcher_;
+  std::vector<std::thread> lanes_;
+};
+
+/// Raised through futures when a request could not be served (cancelled at
+/// shutdown, submitted after stop, or failed by a forward error).
+class ServeError : public std::runtime_error {
+ public:
+  explicit ServeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Facade entry point: spin up the serving loop over `engine`.
+///   auto server = deepgate::serve::start(engine);
+std::unique_ptr<Server> start(const Engine& engine,
+                              const ServerOptions& options = ServerOptions::from_env());
+
+}  // namespace serve
+}  // namespace deepgate

@@ -1,0 +1,63 @@
+// Generic bounded LRU map: insert/lookup refresh recency, inserts beyond
+// capacity evict the least-recently-used entry. Not thread-safe — callers
+// that share one cache across threads hold their own lock (the serve-side
+// MergeCache does exactly that). Capacity 0 disables storage entirely, so a
+// cache knob of 0 cleanly means "off" without branching at every call site.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace dg::util {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Pointer to the cached value (refreshed to most-recently-used), or
+  /// nullptr when absent. The pointer stays valid until the entry is evicted
+  /// by a later put().
+  V* get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Insert (or overwrite) key -> value as most-recently-used, evicting the
+  /// LRU entry if the cache is over capacity. No-op when capacity is 0.
+  void put(K key, V value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(std::move(key), order_.begin());
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  bool contains(const K& key) const { return index_.find(key) != index_.end(); }
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> index_;
+};
+
+}  // namespace dg::util

@@ -79,6 +79,12 @@ struct ThreadPool::Impl {
   }
 };
 
+InlineParallelGuard::InlineParallelGuard() : prev_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+InlineParallelGuard::~InlineParallelGuard() { t_in_parallel_region = prev_; }
+
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
   if (num_threads_ == 1) return;  // inline-only pool, no workers, no Impl
   impl_ = new Impl;

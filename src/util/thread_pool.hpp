@@ -43,6 +43,25 @@ class ThreadPool {
   int num_threads_ = 1;
 };
 
+/// RAII: mark the current thread as already inside a parallel region, so any
+/// nested run_chunks/parallel_for it issues executes inline on this thread
+/// instead of re-entering the pool (external run_chunks callers serialize on
+/// a submit lock). Long-lived worker threads that exist OUTSIDE the pool —
+/// the serve lanes — wrap their drain loops in this guard: thread-level
+/// parallelism across lanes replaces kernel-level fan-out within one, and N
+/// lanes never contend on the pool. Pool workers get this behavior
+/// automatically; the guard extends it to threads the pool doesn't know.
+class InlineParallelGuard {
+ public:
+  InlineParallelGuard();
+  ~InlineParallelGuard();
+  InlineParallelGuard(const InlineParallelGuard&) = delete;
+  InlineParallelGuard& operator=(const InlineParallelGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Resolved DEEPGATE_THREADS: the env value if set (clamped to >= 1), else
 /// std::thread::hardware_concurrency().
 int default_num_threads();

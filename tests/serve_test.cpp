@@ -1,0 +1,559 @@
+// The async serving loop: served responses must be bit-exact with direct
+// per-graph Engine inference for every Table II model family regardless of
+// how requests happened to be batched; batches must close on deadline when
+// the budget is not reached and on budget when it is; try_submit must reject
+// (not block) at capacity; shutdown must leave no unfulfilled futures.
+#include "serve/server.hpp"
+
+#include "core/batch_runner.hpp"
+#include "core/deepgate.hpp"
+#include "data/generators_large.hpp"
+#include "data/generators_small.hpp"
+#include "serve/merge_cache.hpp"
+#include "util/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <vector>
+
+namespace dg {
+namespace {
+
+using deepgate::serve::Request;
+using deepgate::serve::Response;
+using deepgate::serve::Server;
+using deepgate::serve::ServerOptions;
+using deepgate::serve::SubmitStatus;
+using gnn::AggKind;
+using gnn::CircuitGraph;
+using gnn::ModelConfig;
+using gnn::ModelFamily;
+using gnn::ModelSpec;
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.dim = 12;
+  cfg.iterations = 3;
+  cfg.mlp_hidden = 8;
+  cfg.seed = 11;
+  return cfg;
+}
+
+/// Heterogeneous workload: different depths, skip edges, a constant-collapsed
+/// cone — the same mix the batched-inference suite uses.
+std::vector<CircuitGraph> mixed_graphs() {
+  std::vector<CircuitGraph> graphs;
+  {
+    aig::Aig a;
+    const aig::Lit x = aig::make_lit(a.add_input(), false);
+    const aig::Lit y = aig::make_lit(a.add_input(), false);
+    const aig::Lit z = aig::make_lit(a.add_input(), false);
+    a.add_output(a.add_and(a.add_and(x, y), a.add_and(x, z)));
+    graphs.push_back(deepgate::prepare(a, 2000, 5));
+  }
+  graphs.push_back(deepgate::prepare(data::gen_squarer(5), 2000, 6));
+  {
+    util::Rng rng(21);
+    graphs.push_back(deepgate::prepare(data::gen_epfl_like(rng), 2000, 7));
+  }
+  graphs.push_back(deepgate::prepare(data::gen_multiplier(4), 2000, 8));
+  return graphs;
+}
+
+std::vector<ModelSpec> table2_specs() {
+  return {
+      {ModelFamily::kGcn, AggKind::kConvSum, false},
+      {ModelFamily::kDagConv, AggKind::kConvSum, false},
+      {ModelFamily::kDagRec, AggKind::kDeepSet, false},
+      {ModelFamily::kDeepGate, AggKind::kAttention, true},
+  };
+}
+
+// -- Bit-exactness across every model family ----------------------------------
+
+// The acceptance bar: whatever batches the server happens to form, every
+// served response equals the direct single-graph Engine call bitwise.
+TEST(ServeLoop, BitExactWithDirectEngineForAllFamilies) {
+  const auto graphs = mixed_graphs();
+  for (const ModelSpec& spec : table2_specs()) {
+    deepgate::Options options;
+    options.spec = spec;
+    options.model = tiny_config();
+    const deepgate::Engine engine(options);
+
+    ServerOptions sopts;
+    sopts.lanes = 2;
+    sopts.node_budget = 160;  // forces several merged batches for this mix
+    sopts.max_batch_delay = std::chrono::microseconds(500);
+    auto server = deepgate::serve::start(engine, sopts);
+
+    // Several rounds so batch composition varies (and the merge cache gets
+    // a chance to serve repeats).
+    std::vector<std::future<Response>> futures;
+    for (int round = 0; round < 3; ++round)
+      for (const auto& g : graphs) futures.push_back(server->submit({&g, true}));
+
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      const CircuitGraph& g = graphs[k % graphs.size()];
+      const Response r = futures[k].get();
+      // Bitwise, not approximate — the PR 3 merge guarantee carried through
+      // the async loop and lane-owned model clones.
+      EXPECT_EQ(r.probabilities, engine.predict_probabilities(g))
+          << gnn::model_spec_label(spec) << " request " << k;
+      const nn::Matrix emb = engine.embeddings(g);
+      ASSERT_TRUE(r.embedding.same_shape(emb)) << gnn::model_spec_label(spec);
+      EXPECT_TRUE(std::equal(emb.data(), emb.data() + emb.size(), r.embedding.data()))
+          << gnn::model_spec_label(spec) << " request " << k;
+      EXPECT_GE(r.batch_graphs, 1u);
+      EXPECT_GE(r.latency_seconds, 0.0);
+    }
+    server->shutdown();
+    const auto stats = server->stats();
+    EXPECT_EQ(stats.served, futures.size());
+    EXPECT_EQ(stats.cancelled, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+  }
+}
+
+// Depth-aware and FIFO packing must serve identical results — packing only
+// permutes batch composition.
+TEST(ServeLoop, PackingPolicyCannotChangeResults) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  for (const bool depth_aware : {false, true}) {
+    ServerOptions sopts;
+    sopts.lanes = 2;
+    sopts.depth_aware = depth_aware;
+    sopts.node_budget = 200;
+    auto server = deepgate::serve::start(engine, sopts);
+    std::vector<std::future<Response>> futures;
+    for (const auto& g : graphs) futures.push_back(server->submit({&g}));
+    for (std::size_t k = 0; k < futures.size(); ++k)
+      EXPECT_EQ(futures[k].get().probabilities, engine.predict_probabilities(graphs[k]))
+          << (depth_aware ? "depth_aware" : "fifo") << " request " << k;
+  }
+}
+
+// -- Batch-formation policy ----------------------------------------------------
+
+// A batch must close on the oldest request's deadline even when the node
+// budget is nowhere near reached.
+TEST(ServeLoop, DeadlineClosesUnderfullBatch) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.node_budget = 1u << 30;  // unreachable
+  sopts.max_graphs = 1u << 20;   // unreachable
+  sopts.max_batch_delay = std::chrono::microseconds(20000);  // 20ms
+  auto server = deepgate::serve::start(engine, sopts);
+
+  auto f = server->submit({&graphs[0]});
+  // The future must resolve without any further submissions: only the
+  // deadline can close this batch.
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(f.get().probabilities, engine.predict_probabilities(graphs[0]));
+  const auto stats = server->stats();
+  EXPECT_GE(stats.close_deadline, 1u);
+  EXPECT_EQ(stats.close_budget, 0u);
+  EXPECT_EQ(stats.close_max_graphs, 0u);
+}
+
+// With an effectively infinite deadline, only the node budget can close the
+// batch — submissions beyond the budget must be what releases the futures.
+TEST(ServeLoop, BudgetClosesBatchBeforeDeadline) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  std::size_t total_nodes = 0;
+  for (const auto& g : graphs) total_nodes += static_cast<std::size_t>(g.num_nodes);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.node_budget = total_nodes / 2;  // a full pass trips the budget twice-ish
+  sopts.max_batch_delay = std::chrono::seconds(3600);  // deadline can't fire
+  auto server = deepgate::serve::start(engine, sopts);
+
+  std::vector<std::future<Response>> futures;
+  for (int round = 0; round < 2; ++round)
+    for (const auto& g : graphs) futures.push_back(server->submit({&g}));
+  // Shutdown drains whatever the budget didn't close; budget must have
+  // closed at least one window before that.
+  server->shutdown();
+  for (std::size_t k = 0; k < futures.size(); ++k)
+    EXPECT_EQ(futures[k].get().probabilities,
+              engine.predict_probabilities(graphs[k % graphs.size()]));
+  const auto stats = server->stats();
+  EXPECT_GE(stats.close_budget, 1u);
+  EXPECT_EQ(stats.close_deadline, 0u);
+  EXPECT_EQ(stats.served, futures.size());
+}
+
+TEST(ServeLoop, MaxGraphsClosesBatch) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.node_budget = 1u << 30;
+  sopts.max_graphs = 2;
+  sopts.max_batch_delay = std::chrono::seconds(3600);
+  auto server = deepgate::serve::start(engine, sopts);
+
+  std::vector<std::future<Response>> futures;
+  for (const auto& g : graphs) futures.push_back(server->submit({&g}));  // 4 = 2 windows
+  for (auto& f : futures) f.wait();
+  const auto stats = server->stats();
+  EXPECT_GE(stats.close_max_graphs, 1u);
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    const Response r = futures[k].get();
+    EXPECT_LE(r.batch_graphs, 2u);
+    EXPECT_EQ(r.probabilities, engine.predict_probabilities(graphs[k]));
+  }
+}
+
+// -- Backpressure --------------------------------------------------------------
+
+// try_submit must REJECT, not block, when the admission queue is at
+// capacity. pause() gives a deterministic full-queue state: the batcher
+// cannot pop while paused, so capacity is exact.
+TEST(ServeLoop, TrySubmitRejectsWhenQueueFull) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.queue_capacity = 3;
+  auto server = deepgate::serve::start(engine, sopts);
+  server->pause();
+
+  std::vector<std::future<Response>> accepted;
+  for (std::size_t i = 0; i < sopts.queue_capacity; ++i) {
+    std::future<Response> f;
+    ASSERT_EQ(server->try_submit({&graphs[i % graphs.size()]}, f), SubmitStatus::kAccepted);
+    accepted.push_back(std::move(f));
+  }
+  // Queue is exactly full now: the next try_submit must reject immediately.
+  std::future<Response> overflow;
+  EXPECT_EQ(server->try_submit({&graphs[0]}, overflow), SubmitStatus::kOverloaded);
+  EXPECT_FALSE(overflow.valid());
+  EXPECT_EQ(server->stats().rejected_overload, 1u);
+  EXPECT_EQ(server->stats().queue_depth, sopts.queue_capacity);
+
+  // Releasing the backlog serves everything that was accepted, bit-exactly.
+  server->resume();
+  for (std::size_t i = 0; i < accepted.size(); ++i)
+    EXPECT_EQ(accepted[i].get().probabilities,
+              engine.predict_probabilities(graphs[i % graphs.size()]));
+}
+
+TEST(ServeLoop, InvalidAndDegenerateRequests) {
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+  auto server = deepgate::serve::start(engine, ServerOptions{});
+
+  EXPECT_THROW(server->submit({nullptr}), std::invalid_argument);
+  std::future<Response> f;
+  EXPECT_EQ(server->try_submit({nullptr}, f), SubmitStatus::kInvalid);
+
+  // Zero-node graph: resolves immediately with an empty response.
+  CircuitGraph empty;
+  empty.finalize();
+  auto fe = server->submit({&empty, true});
+  ASSERT_EQ(fe.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Response r = fe.get();
+  EXPECT_TRUE(r.probabilities.empty());
+  EXPECT_EQ(r.embedding.rows(), 0);
+}
+
+// -- Shutdown ------------------------------------------------------------------
+
+// Drain shutdown: every admitted future resolves with a value.
+TEST(ServeLoop, ShutdownDrainsAllFutures) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 2;
+  sopts.max_batch_delay = std::chrono::seconds(3600);  // only drain can flush
+  sopts.node_budget = 1u << 30;
+  auto server = deepgate::serve::start(engine, sopts);
+
+  std::vector<std::future<Response>> futures;
+  for (int round = 0; round < 4; ++round)
+    for (const auto& g : graphs) futures.push_back(server->submit({&g}));
+  server->shutdown(/*drain=*/true);
+
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    ASSERT_EQ(futures[k].wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "unfulfilled future " << k;
+    EXPECT_EQ(futures[k].get().probabilities,
+              engine.predict_probabilities(graphs[k % graphs.size()]));
+  }
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.served, futures.size());
+  EXPECT_GE(stats.close_drain, 1u);
+
+  // Submissions after shutdown fail explicitly, with a fulfilled future —
+  // including the zero-node fast path, which must not bypass the stop.
+  auto late = server->submit({&graphs[0]});
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_THROW(late.get(), deepgate::serve::ServeError);
+  std::future<Response> f;
+  EXPECT_EQ(server->try_submit({&graphs[0]}, f), SubmitStatus::kStopped);
+  CircuitGraph empty;
+  empty.finalize();
+  auto late_empty = server->submit({&empty});
+  ASSERT_EQ(late_empty.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_THROW(late_empty.get(), deepgate::serve::ServeError);
+  EXPECT_EQ(server->try_submit({&empty}, f), SubmitStatus::kStopped);
+}
+
+// Cancel shutdown: queued-but-unformed requests fail with ServeError — but
+// every future still resolves (no broken promises, nothing hangs).
+TEST(ServeLoop, CancelShutdownFailsQueuedFuturesDeterministically) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.queue_capacity = 16;
+  auto server = deepgate::serve::start(engine, sopts);
+  server->pause();  // hold everything in the admission queue
+
+  std::vector<std::future<Response>> futures;
+  for (int round = 0; round < 2; ++round)
+    for (const auto& g : graphs) futures.push_back(server->submit({&g}));
+  server->shutdown(/*drain=*/false);
+
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_THROW(f.get(), deepgate::serve::ServeError);
+  }
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.cancelled, futures.size());
+  EXPECT_EQ(stats.served, 0u);
+}
+
+// Destruction without explicit shutdown must also fulfill everything.
+TEST(ServeLoop, DestructorDrains) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  std::vector<std::future<Response>> futures;
+  {
+    auto server = deepgate::serve::start(engine, ServerOptions{});
+    for (const auto& g : graphs) futures.push_back(server->submit({&g}));
+  }
+  for (std::size_t k = 0; k < futures.size(); ++k)
+    EXPECT_EQ(futures[k].get().probabilities, engine.predict_probabilities(graphs[k]));
+}
+
+// -- Merge cache ---------------------------------------------------------------
+
+TEST(MergeCache, HitsOnRepeatedCompositionAndEvictsLru) {
+  const auto graphs = mixed_graphs();
+  std::vector<const CircuitGraph*> ab = {&graphs[0], &graphs[1]};
+  std::vector<const CircuitGraph*> cd = {&graphs[2], &graphs[3]};
+  std::vector<const CircuitGraph*> ba = {&graphs[1], &graphs[0]};  // order matters
+
+  deepgate::serve::MergeCache cache(2);
+  const auto first = cache.merged(ab);
+  EXPECT_TRUE(gnn::bit_equal(*first, CircuitGraph::merge(ab)));
+  EXPECT_EQ(cache.merged(ab).get(), first.get());  // same object back
+  EXPECT_NE(cache.merged(ba).get(), first.get());  // different composition
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+
+  // Touch ab (most recent), insert a third composition: ba is the LRU entry
+  // and must be evicted; ab must survive.
+  EXPECT_EQ(cache.merged(ab).get(), first.get());
+  cache.merged(cd);
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(cache.merged(ab).get(), first.get());        // still cached
+  const auto rebuilt = cache.merged(ba);                 // rebuilt after eviction
+  EXPECT_TRUE(gnn::bit_equal(*rebuilt, CircuitGraph::merge(ba)));
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4u);  // ab, ba, cd, ba-again
+}
+
+TEST(MergeCache, CapacityZeroDisables) {
+  const auto graphs = mixed_graphs();
+  std::vector<const CircuitGraph*> ab = {&graphs[0], &graphs[1]};
+  deepgate::serve::MergeCache cache(0);
+  EXPECT_NE(cache.merged(ab).get(), cache.merged(ab).get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ServeLoop, MergeCacheServesRepeatedTraffic) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.max_graphs = graphs.size();
+  sopts.node_budget = 1u << 30;
+  sopts.max_batch_delay = std::chrono::seconds(3600);
+  sopts.merge_cache_capacity = 8;
+  auto server = deepgate::serve::start(engine, sopts);
+
+  // Identical full-window compositions: pause, load one full round, resume.
+  for (int round = 0; round < 3; ++round) {
+    server->pause();
+    std::vector<std::future<Response>> futures;
+    for (const auto& g : graphs) futures.push_back(server->submit({&g}));
+    server->resume();
+    for (std::size_t k = 0; k < futures.size(); ++k)
+      EXPECT_EQ(futures[k].get().probabilities, engine.predict_probabilities(graphs[k]));
+  }
+  const auto stats = server->stats();
+  // Same composition every round: the first pays the merge, the rest hit.
+  EXPECT_GE(stats.merge_cache_hits, 1u);
+  EXPECT_GE(stats.merge_cache_hits + stats.merge_cache_misses, 3u);
+}
+
+// -- Depth-aware packing -------------------------------------------------------
+
+TEST(PlanNodeBatchesByDepth, GroupsSimilarDepthsDeterministically) {
+  const auto graphs = mixed_graphs();
+  std::vector<const CircuitGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  // Budget 0: singleton groups.
+  auto groups = gnn::plan_node_batches_by_depth(ptrs, 0, 64);
+  EXPECT_EQ(groups.size(), ptrs.size());
+
+  // Huge budget: one group, ordered by depth (ascending), covering all.
+  groups = gnn::plan_node_batches_by_depth(ptrs, 1u << 30, 64);
+  ASSERT_EQ(groups.size(), 1u);
+  ASSERT_EQ(groups[0].size(), ptrs.size());
+  for (std::size_t i = 1; i < groups[0].size(); ++i)
+    EXPECT_LE(ptrs[groups[0][i - 1]]->num_levels, ptrs[groups[0][i]]->num_levels);
+
+  // Tight budget: within budget unless a lone graph exceeds it; every index
+  // covered exactly once; group depth ranges do not interleave.
+  groups = gnn::plan_node_batches_by_depth(ptrs, 120, 64);
+  std::vector<int> seen(ptrs.size(), 0);
+  int prev_max_depth = -1;
+  for (const auto& group : groups) {
+    ASSERT_FALSE(group.empty());
+    std::size_t nodes = 0;
+    int lo = 1 << 30, hi = -1;
+    for (const std::size_t i : group) {
+      seen[i] += 1;
+      nodes += static_cast<std::size_t>(ptrs[i]->num_nodes);
+      lo = std::min(lo, ptrs[i]->num_levels);
+      hi = std::max(hi, ptrs[i]->num_levels);
+    }
+    if (group.size() > 1) EXPECT_LE(nodes, 120u);
+    EXPECT_GE(lo, prev_max_depth) << "depth ranges interleave";
+    prev_max_depth = hi;
+  }
+  for (const int s : seen) EXPECT_EQ(s, 1);
+
+  // Mixed compatibility classes never share a group.
+  CircuitGraph other = graphs[0];
+  other.finalize(4);  // different pe_L
+  std::vector<const CircuitGraph*> mixed = ptrs;
+  mixed.push_back(&other);
+  for (const auto& group : gnn::plan_node_batches_by_depth(mixed, 1u << 30, 64))
+    for (const std::size_t i : group)
+      EXPECT_EQ(mixed[i]->pe_L, mixed[group[0]]->pe_L);
+}
+
+// -- util::LruCache ------------------------------------------------------------
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  util::LruCache<int, int> lru(2);
+  lru.put(1, 10);
+  lru.put(2, 20);
+  ASSERT_NE(lru.get(1), nullptr);  // 1 is now most recent
+  lru.put(3, 30);                  // evicts 2
+  EXPECT_EQ(lru.get(2), nullptr);
+  ASSERT_NE(lru.get(1), nullptr);
+  EXPECT_EQ(*lru.get(1), 10);
+  ASSERT_NE(lru.get(3), nullptr);
+  EXPECT_EQ(lru.size(), 2u);
+
+  lru.put(1, 11);  // overwrite refreshes, no growth
+  EXPECT_EQ(*lru.get(1), 11);
+  EXPECT_EQ(lru.size(), 2u);
+
+  util::LruCache<int, int> off(0);
+  off.put(1, 10);
+  EXPECT_EQ(off.get(1), nullptr);
+  EXPECT_EQ(off.size(), 0u);
+}
+
+// -- Engine/BatchRunner degenerate-request handling ---------------------------
+
+TEST(EngineBatch, EmptyAndZeroNodeGraphs) {
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  EXPECT_TRUE(engine.predict_batch({}).empty());
+  EXPECT_TRUE(engine.embeddings_batch({}).empty());
+
+  CircuitGraph empty;
+  empty.finalize();
+  const auto only_empty = engine.predict_batch({&empty});
+  ASSERT_EQ(only_empty.size(), 1u);
+  EXPECT_TRUE(only_empty[0].empty());
+  const auto only_empty_emb = engine.embeddings_batch({&empty});
+  ASSERT_EQ(only_empty_emb.size(), 1u);
+  EXPECT_EQ(only_empty_emb[0].rows(), 0);
+
+  // Zero-node members mixed into a live batch: empty slots, live results
+  // unchanged and bit-exact.
+  const auto graphs = mixed_graphs();
+  const auto mixed = engine.predict_batch({&graphs[0], &empty, &graphs[1]});
+  ASSERT_EQ(mixed.size(), 3u);
+  EXPECT_EQ(mixed[0], engine.predict_probabilities(graphs[0]));
+  EXPECT_TRUE(mixed[1].empty());
+  EXPECT_EQ(mixed[2], engine.predict_probabilities(graphs[1]));
+
+  EXPECT_THROW(engine.predict_batch({&graphs[0], nullptr}), std::invalid_argument);
+
+  deepgate::BatchRunner runner(engine);
+  const auto served = runner.predict({&graphs[0], &empty, &graphs[1]});
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0], engine.predict_probabilities(graphs[0]));
+  EXPECT_TRUE(served[1].empty());
+  EXPECT_EQ(served[2], engine.predict_probabilities(graphs[1]));
+  const auto embs = runner.embeddings({&empty});
+  ASSERT_EQ(embs.size(), 1u);
+  EXPECT_EQ(embs[0].rows(), 0);
+}
+
+}  // namespace
+}  // namespace dg
