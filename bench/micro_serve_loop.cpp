@@ -13,10 +13,16 @@
 //                independent of completions — the classic serving-latency
 //                measurement. Reports p50/p99/max request latency from the
 //                server-side accounting carried on each Response.
+//   serve_burst_embed
+//                the same closed bursts with want_embedding on every
+//                request — the traffic class the fused Model::forward_outputs
+//                path fixed: embedding-bearing requests now cost ONE
+//                level-loop forward (previously predict + embed ran two), so
+//                this mode should track serve_burst instead of halving it.
 //
-// Every served probability vector is cross-checked bitwise against the
-// direct Engine single-graph path. Honors --json out.json /
-// DEEPGATE_BENCH_JSON (BENCH_micro_serve_loop.json in CI).
+// Every served probability vector (and embedding, in the embed mode) is
+// cross-checked bitwise against the direct Engine single-graph path. Honors
+// --json out.json / DEEPGATE_BENCH_JSON (BENCH_micro_serve_loop.json in CI).
 #include "harness.hpp"
 
 #include "core/batch_runner.hpp"
@@ -176,6 +182,38 @@ int main(int argc, char** argv) {
            stats.batches);
   }
 
+  // -- serve_burst_embed: closed bursts, every request wants its embedding ----
+  {
+    std::vector<nn::Matrix> reference_emb;
+    reference_emb.reserve(graphs.size());
+    for (const auto& g : graphs) reference_emb.push_back(engine.embeddings(g));
+    auto server = deepgate::serve::start(engine, sopts);
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(total_requests));
+    util::Timer t;
+    for (int rep = 0; rep < wl.reps; ++rep) {
+      std::vector<std::future<deepgate::serve::Response>> futures;
+      futures.reserve(ptrs.size());
+      for (const auto* g : ptrs) futures.push_back(server->submit({g, /*want_embedding=*/true}));
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        deepgate::serve::Response r = futures[i].get();
+        check(i, r.probabilities);
+        const nn::Matrix& want = reference_emb[i % reference_emb.size()];
+        if (!r.embedding.same_shape(want) ||
+            !std::equal(want.data(), want.data() + want.size(), r.embedding.data())) {
+          std::fprintf(stderr, "FAIL: served embedding diverged from single path "
+                               "(request %zu)\n", i);
+          return 1;
+        }
+        latencies.push_back(r.latency_seconds);
+      }
+    }
+    const double seconds = t.seconds();
+    const auto stats = server->stats();
+    record("serve_burst_embed", seconds, latencies, stats.merge_cache_hits,
+           stats.merge_cache_misses, stats.batches);
+  }
+
   // -- serve_open: open-loop fixed-rate arrivals at ~70% of burst capacity ----
   {
     auto server = deepgate::serve::start(engine, sopts);
@@ -213,8 +251,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.close_drain));
   }
 
-  std::printf("equivalence: served == single-graph path on all %d requests x 3 modes\n",
-              total_requests);
+  std::printf("equivalence: served == single-graph path on all %d requests x 4 modes "
+              "(probabilities + embeddings)\n", total_requests);
   if (!bench::write_json_report(ctx, "micro_serve_loop", records)) return 1;
   if (!ctx.json_path.empty()) std::printf("json report: %s\n", ctx.json_path.c_str());
   return 0;

@@ -5,6 +5,12 @@
 // prediction matches the single-graph path (1e-5; the implementation is
 // bit-exact).
 //
+// The want_embedding scenario measures the fused forward fix: requests that
+// need prediction AND embedding used to pay two full level-loop forwards
+// (predict then embed); BatchRunner::infer runs Model::forward_outputs —
+// one pass, both outputs — and must come in close to 2x the two-pass
+// throughput at 1 thread (>= 1.5x is the acceptance bar).
+//
 // Honors --json out.json / DEEPGATE_BENCH_JSON for the perf-trajectory CI
 // (BENCH_micro_serving.json).
 #include "harness.hpp"
@@ -14,6 +20,7 @@
 #include "data/generators_large.hpp"
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <functional>
@@ -124,7 +131,48 @@ int main(int argc, char** argv) {
       time_best_of(wl.reps, [&] { pooled = pool_runner.predict(ptrs); });
   record("batched_pool", pool_threads, bopts.node_budget, pooled_secs);
 
+  // -- want_embedding: two-pass (predict + embeddings) vs fused infer --------
+  // Serial (1 thread) so the comparison isolates the forward count: the
+  // separate path runs TWO level-loop forwards per batch, the fused path ONE.
+  std::vector<std::vector<float>> sep_probs;
+  std::vector<dg::nn::Matrix> sep_embs;
+  const double embed_separate_secs = time_best_of(wl.reps, [&] {
+    sep_probs = serial_runner.predict(ptrs);
+    sep_embs = serial_runner.embeddings(ptrs);
+  });
+  record("embed_separate", 1, serial_opts.node_budget, embed_separate_secs);
+
+  deepgate::BatchInference fused;
+  const double embed_fused_secs =
+      time_best_of(wl.reps, [&] { fused = serial_runner.infer(ptrs); });
+  record("embed_fused", 1, serial_opts.node_budget, embed_fused_secs);
+  const double embed_speedup = embed_separate_secs / embed_fused_secs;
+  records.back().num("speedup_vs_embed_separate", embed_speedup);
+
   std::printf("%s\n", table.render().c_str());
+  std::printf("want_embedding: fused forward_outputs %.2fx over separate predict+embed "
+              "(one level-loop forward instead of two)\n\n", embed_speedup);
+  // Enforce the property structurally rather than by wall clock (which would
+  // turn shared-runner timer noise into CI failures): over the same request
+  // list, the separate path must run exactly TWICE the forwards of the fused
+  // path. Fresh runners so the counters cover only this check.
+  {
+    const deepgate::BatchRunner separate_runner(engine, serial_opts);
+    separate_runner.predict(ptrs);
+    separate_runner.embeddings(ptrs);
+    const deepgate::BatchRunner fused_runner(engine, serial_opts);
+    fused_runner.infer(ptrs);
+    const std::size_t separate_fwd = separate_runner.stats().batches;
+    const std::size_t fused_fwd = fused_runner.stats().batches;
+    if (fused_fwd == 0 || separate_fwd != 2 * fused_fwd) {
+      std::fprintf(stderr, "FAIL: fused want_embedding path ran %zu forwards vs %zu for "
+                           "separate predict+embed (expected exactly half)\n",
+                   fused_fwd, separate_fwd);
+      return 1;
+    }
+    std::printf("forward count: fused %zu vs separate %zu on the same request list\n\n",
+                fused_fwd, separate_fwd);
+  }
 
   // -- equivalence check: batched serving must reproduce the single path -----
   for (std::size_t i = 0; i < reference.size(); ++i) {
@@ -137,7 +185,19 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("equivalence: batched == single on all %d graphs\n", wl.num_graphs);
+  // Fused vs separate must be bitwise identical — same pass, same numbers.
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    if (fused.probabilities[i] != sep_probs[i] ||
+        !fused.embeddings[i].same_shape(sep_embs[i]) ||
+        !std::equal(sep_embs[i].data(), sep_embs[i].data() + sep_embs[i].size(),
+                    fused.embeddings[i].data())) {
+      std::fprintf(stderr, "FAIL: fused infer diverged from separate predict+embed "
+                           "(graph %zu)\n", i);
+      return 1;
+    }
+  }
+  std::printf("equivalence: batched == single and fused == separate on all %d graphs\n",
+              wl.num_graphs);
 
   if (!bench::write_json_report(ctx, "micro_serving", records)) return 1;
   if (!ctx.json_path.empty()) std::printf("json report: %s\n", ctx.json_path.c_str());

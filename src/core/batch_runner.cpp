@@ -18,7 +18,15 @@ std::vector<float> column_of(const dg::nn::Matrix& pred) {
 }  // namespace
 
 BatchRunner::BatchRunner(const Engine& engine, const BatchOptions& opts)
-    : engine_(engine), opts_(opts) {}
+    : engine_(engine), opts_(opts), cache_(opts.merge_cache_capacity) {}
+
+dg::gnn::ServeOptions BatchRunner::opts_with_cache() const {
+  dg::gnn::ServeOptions opts = opts_;
+  // A caller-supplied cache (shared across runners/eval loops) wins; the
+  // runner-owned one is only the default.
+  if (opts.merge_cache == nullptr) opts.merge_cache = &cache_;
+  return opts;
+}
 
 std::vector<std::vector<float>> BatchRunner::predict(
     const std::vector<const CircuitGraph*>& graphs) const {
@@ -27,7 +35,7 @@ std::vector<std::vector<float>> BatchRunner::predict(
   dg::util::Timer timer;
   const dg::gnn::Model& model = engine_.model();
   const std::size_t batches = dg::gnn::forward_batched(
-      graphs, opts_, [&](const CircuitGraph& g) { return model.predict(g); },
+      graphs, opts_with_cache(), [&](const CircuitGraph& g) { return model.predict(g); },
       [&](std::size_t i, dg::nn::Matrix rows) { out[i] = column_of(rows); });
   note_call(graphs, batches, timer.seconds());
   return out;
@@ -40,8 +48,26 @@ std::vector<dg::nn::Matrix> BatchRunner::embeddings(
   dg::util::Timer timer;
   const dg::gnn::Model& model = engine_.model();
   const std::size_t batches = dg::gnn::forward_batched(
-      graphs, opts_, [&](const CircuitGraph& g) { return model.embed(g); },
+      graphs, opts_with_cache(), [&](const CircuitGraph& g) { return model.embed(g); },
       [&](std::size_t i, dg::nn::Matrix rows) { out[i] = std::move(rows); });
+  note_call(graphs, batches, timer.seconds());
+  return out;
+}
+
+BatchInference BatchRunner::infer(const std::vector<const CircuitGraph*>& graphs) const {
+  BatchInference out;
+  out.probabilities.resize(graphs.size());
+  out.embeddings.resize(graphs.size());
+  if (graphs.empty()) return out;
+  dg::util::Timer timer;
+  const dg::gnn::Model& model = engine_.model();
+  const std::size_t batches = dg::gnn::forward_outputs_batched(
+      graphs, opts_with_cache(),
+      [&](const CircuitGraph& g) { return model.forward_outputs(g); },
+      [&](std::size_t i, dg::nn::Matrix pred, dg::nn::Matrix emb) {
+        out.probabilities[i] = column_of(pred);
+        out.embeddings[i] = std::move(emb);
+      });
   note_call(graphs, batches, timer.seconds());
   return out;
 }

@@ -13,9 +13,16 @@
 //   deepgate::BatchRunner runner(engine);           // knobs from env
 //   auto probs = runner.predict(graph_ptrs);        // one vector per graph
 //   auto embs  = runner.embeddings(graph_ptrs);     // one N_i x d per graph
+//   auto both  = runner.infer(graph_ptrs);          // probs + embs, ONE pass
+//
+// Repeated calls over the same graph set (epoch-style offline eval, steady
+// traffic on a fixed catalog) hit a runner-owned merge cache, so identical
+// merge groups pay CircuitGraph::merge + finalize once.
 #pragma once
 
+#include "core/deepgate.hpp"
 #include "gnn/circuit_graph.hpp"
+#include "gnn/merge_cache.hpp"
 #include "gnn/metrics.hpp"
 #include "nn/matrix.hpp"
 
@@ -23,8 +30,6 @@
 #include <vector>
 
 namespace deepgate {
-
-class Engine;
 
 /// Serving knobs — the same struct (and therefore the same defaults and
 /// DEEPGATE_SERVE_* env parsing) batched evaluation uses.
@@ -52,15 +57,29 @@ class BatchRunner {
   std::vector<dg::nn::Matrix> embeddings(
       const std::vector<const dg::gnn::CircuitGraph*>& graphs) const;
 
+  /// Fused serving: probabilities AND embeddings for every graph from ONE
+  /// level-loop forward per batch (Model::forward_outputs) — half the cost
+  /// of predict() followed by embeddings(), bit-exact with both.
+  BatchInference infer(const std::vector<const dg::gnn::CircuitGraph*>& graphs) const;
+
   const BatchOptions& options() const { return opts_; }
   const BatchStats& stats() const { return stats_; }
+  /// Counters of the runner-owned cache. When the BatchOptions passed at
+  /// construction carried their own merge_cache pointer, that cache is used
+  /// instead (shared across consumers) and these counters stay at zero.
+  dg::gnn::MergeCacheStats merge_cache_stats() const { return cache_.stats(); }
 
  private:
   void note_call(const std::vector<const dg::gnn::CircuitGraph*>& graphs,
                  std::size_t batches, double seconds) const;
+  /// opts_ with a cache attached: the caller-supplied opts_.merge_cache when
+  /// set, else the runner-owned cache_ (attached per call, never stored in
+  /// opts_ itself, so the owned cache cannot dangle across copies).
+  dg::gnn::ServeOptions opts_with_cache() const;
 
   const Engine& engine_;
   BatchOptions opts_;
+  mutable dg::gnn::MergeCache cache_;  ///< capacity opts_.merge_cache_capacity
   mutable BatchStats stats_;
 };
 

@@ -39,7 +39,10 @@ dg::data::Dataset prepare_dataset(const dg::data::DatasetConfig& config,
 }
 
 Engine::Engine(const Options& options)
-    : options_(options), model_(dg::gnn::make_model(options.spec, options.model)) {}
+    : options_(options),
+      model_(dg::gnn::make_model(options.spec, options.model)),
+      eval_cache_(std::make_unique<dg::gnn::MergeCache>(
+          dg::gnn::ServeOptions::from_env().merge_cache_capacity)) {}
 
 dg::gnn::TrainResult Engine::train(const std::vector<CircuitGraph>& train_set,
                                    const TrainConfig& cfg) {
@@ -53,7 +56,12 @@ dg::gnn::TrainResult Engine::train(dg::gnn::GraphStream& stream, const TrainConf
 double Engine::evaluate(const std::vector<CircuitGraph>& test_set,
                         int iterations_override) const {
   if (iterations_override > 0) effective_iterations(iterations_override);  // log-once
-  return dg::gnn::evaluate(*model_, test_set, iterations_override);
+  dg::gnn::EvalOptions opts = dg::gnn::EvalOptions::from_env();
+  opts.iterations_override = iterations_override;
+  // Epoch-loop eval of a fixed test set re-forms identical merge groups
+  // every call; the engine-owned signature cache pays merge+finalize once.
+  opts.merge_cache = eval_cache_.get();
+  return dg::gnn::evaluate(*model_, test_set, opts);
 }
 
 std::vector<float> Engine::predict_probabilities(const CircuitGraph& g) const {
@@ -117,6 +125,28 @@ std::vector<dg::nn::Matrix> Engine::embeddings_batch(
   const dg::nn::Matrix emb = model_->embed(merged).value();
   for (std::size_t i = 0; i < live.size(); ++i)
     out[index[i]] = dg::gnn::member_rows(emb, merged.members[i]);
+  return out;
+}
+
+BatchInference Engine::infer_batch(const std::vector<const CircuitGraph*>& batch) const {
+  BatchInference out;
+  out.probabilities.resize(batch.size());
+  out.embeddings.resize(batch.size());
+  const auto [live, index] = live_members(batch);
+  if (live.empty()) return out;
+  dg::nn::NoGradGuard no_grad;
+  const CircuitGraph merged = CircuitGraph::merge(live);
+  const dg::gnn::ForwardOutputs fused = model_->forward_outputs(merged);
+  const dg::nn::Matrix& pred = fused.prediction.value();
+  const dg::nn::Matrix& emb = fused.embedding.value();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const dg::gnn::GraphMember& m = merged.members[i];
+    auto& slot = out.probabilities[index[i]];
+    slot.resize(static_cast<std::size_t>(m.num_nodes));
+    for (int v = 0; v < m.num_nodes; ++v)
+      slot[static_cast<std::size_t>(v)] = pred.at(m.node_offset + v, 0);
+    out.embeddings[index[i]] = dg::gnn::member_rows(emb, m);
+  }
   return out;
 }
 

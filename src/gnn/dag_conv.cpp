@@ -33,7 +33,12 @@ class DagConvModel final : public Model {
   }
 
   Tensor predict(const CircuitGraph& g) const override {
-    return regressor_.forward(embed(g), g);
+    return forward_outputs(g).prediction;
+  }
+
+  ForwardOutputs forward_outputs(const CircuitGraph& g) const override {
+    const Tensor h = embed(g);
+    return {regressor_.forward(h, g), h};
   }
 
   std::unique_ptr<Model> clone() const override {

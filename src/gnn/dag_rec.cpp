@@ -25,7 +25,11 @@ class RecurrentDagModel final : public Model {
   }
 
   Tensor predict_iterations(const CircuitGraph& g, int iterations) const override {
-    return regressor_.forward(embed_iterations(g, iterations), g);
+    return outputs_iterations(g, iterations).prediction;
+  }
+
+  ForwardOutputs forward_outputs(const CircuitGraph& g) const override {
+    return outputs_iterations(g, cfg_.iterations);
   }
 
   Tensor embed(const CircuitGraph& g) const override {
@@ -40,6 +44,11 @@ class RecurrentDagModel final : public Model {
     auto copy = std::make_unique<RecurrentDagModel>(cfg_, name_);
     copy_params(*this, *copy);
     return copy;
+  }
+
+  ForwardOutputs outputs_iterations(const CircuitGraph& g, int iterations) const {
+    const Tensor h = embed_iterations(g, iterations);
+    return {regressor_.forward(h, g), h};
   }
 
   Tensor embed_iterations(const CircuitGraph& g, int iterations) const {

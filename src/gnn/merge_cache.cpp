@@ -1,15 +1,13 @@
-#include "serve/merge_cache.hpp"
+#include "gnn/merge_cache.hpp"
 
 #include "util/hash.hpp"
 
-namespace deepgate::serve {
-
-using dg::gnn::CircuitGraph;
+namespace dg::gnn {
 
 MergeCache::MergeCache(std::size_t capacity) : capacity_(capacity), cache_(capacity) {}
 
 std::uint64_t MergeCache::signature(const std::vector<const CircuitGraph*>& parts) {
-  dg::util::Fnv1a h;
+  util::Fnv1a h;
   h.u64(parts.size());
   for (const CircuitGraph* g : parts) {
     h.u64(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(g)));
@@ -65,6 +63,11 @@ std::shared_ptr<const CircuitGraph> MergeCache::merged(
   return built;
 }
 
+void MergeCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
 MergeCacheStats MergeCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   MergeCacheStats snapshot = stats_;
@@ -72,4 +75,4 @@ MergeCacheStats MergeCache::stats() const {
   return snapshot;
 }
 
-}  // namespace deepgate::serve
+}  // namespace dg::gnn

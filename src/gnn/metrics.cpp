@@ -1,11 +1,13 @@
 #include "gnn/metrics.hpp"
 
+#include "gnn/merge_cache.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 
 namespace dg::gnn {
 
@@ -15,6 +17,8 @@ ServeOptions ServeOptions::from_env() {
   if (budget >= 0) opts.node_budget = static_cast<std::size_t>(budget);
   const long long max_graphs = util::env_int("DEEPGATE_SERVE_MAX_GRAPHS", -1);
   if (max_graphs > 0) opts.max_graphs = static_cast<std::size_t>(max_graphs);
+  const long long cache = util::env_int("DEEPGATE_SERVE_CACHE", -1);
+  if (cache >= 0) opts.merge_cache_capacity = static_cast<std::size_t>(cache);
   return opts;
 }
 
@@ -32,10 +36,20 @@ double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& 
   return labels.empty() ? 0.0 : total / static_cast<double>(labels.size());
 }
 
-std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
-                            const ServeOptions& opts,
-                            const std::function<nn::Tensor(const CircuitGraph&)>& forward,
-                            const std::function<void(std::size_t, nn::Matrix)>& sink) {
+namespace {
+
+/// The shared batching driver behind forward_batched and
+/// forward_outputs_batched. `R` is the per-forward result (nn::Tensor or
+/// ForwardOutputs); `scatter(out_index, result, member)` hands each graph its
+/// rows (member == nullptr for a solo batch: the result IS the graph's
+/// output) and `empty_sink(out_index)` resolves zero-node graphs.
+template <class R>
+std::size_t run_forward_batched(const std::vector<const CircuitGraph*>& graphs,
+                                const ServeOptions& opts,
+                                const std::function<R(const CircuitGraph&)>& forward,
+                                const std::function<void(std::size_t, const R&,
+                                                         const GraphMember*)>& scatter,
+                                const std::function<void(std::size_t)>& empty_sink) {
   if (graphs.empty()) return 0;
   // Zero-node graphs have nothing to forward or merge: hand them an empty
   // row block directly so callers need not pre-filter degenerate requests.
@@ -44,7 +58,7 @@ std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
   live.reserve(graphs.size());
   for (std::size_t i = 0; i < graphs.size(); ++i) {
     if (graphs[i]->num_nodes == 0)
-      sink(i, nn::Matrix());
+      empty_sink(i);
     else {
       live.push_back(graphs[i]);
       live_index.push_back(i);
@@ -56,16 +70,22 @@ std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
   const auto run_batch = [&](std::size_t b) {
     const auto [begin, end] = plan[b];
     if (end - begin == 1) {
-      sink(live_index[begin], forward(*live[begin]).value());
+      const R out = forward(*live[begin]);
+      scatter(live_index[begin], out, nullptr);
       return;
     }
     const std::vector<const CircuitGraph*> parts(
         live.begin() + static_cast<std::ptrdiff_t>(begin),
         live.begin() + static_cast<std::ptrdiff_t>(end));
-    const CircuitGraph merged = CircuitGraph::merge(parts);
-    const nn::Tensor out = forward(merged);  // keeps .value() alive below
+    // Through the caller's cache when provided (repeated offline eval of a
+    // fixed test set, BatchRunner steady traffic), fresh merge otherwise.
+    const std::shared_ptr<const CircuitGraph> merged =
+        opts.merge_cache != nullptr
+            ? opts.merge_cache->merged(parts)
+            : std::make_shared<const CircuitGraph>(CircuitGraph::merge(parts));
+    const R out = forward(*merged);  // keeps the value matrices alive below
     for (std::size_t i = begin; i < end; ++i)
-      sink(live_index[i], member_rows(out.value(), merged.members[i - begin]));
+      scatter(live_index[i], out, &merged->members[i - begin]);
   };
 
   const int requested = opts.threads > 0 ? opts.threads : util::default_num_threads();
@@ -91,6 +111,36 @@ std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
     }
   });
   return plan.size();
+}
+
+}  // namespace
+
+std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
+                            const ServeOptions& opts,
+                            const std::function<nn::Tensor(const CircuitGraph&)>& forward,
+                            const std::function<void(std::size_t, nn::Matrix)>& sink) {
+  return run_forward_batched<nn::Tensor>(
+      graphs, opts, forward,
+      [&](std::size_t i, const nn::Tensor& out, const GraphMember* m) {
+        sink(i, m != nullptr ? member_rows(out.value(), *m) : out.value());
+      },
+      [&](std::size_t i) { sink(i, nn::Matrix()); });
+}
+
+std::size_t forward_outputs_batched(
+    const std::vector<const CircuitGraph*>& graphs, const ServeOptions& opts,
+    const std::function<ForwardOutputs(const CircuitGraph&)>& forward,
+    const std::function<void(std::size_t, nn::Matrix, nn::Matrix)>& sink) {
+  return run_forward_batched<ForwardOutputs>(
+      graphs, opts, forward,
+      [&](std::size_t i, const ForwardOutputs& out, const GraphMember* m) {
+        if (m != nullptr)
+          sink(i, member_rows(out.prediction.value(), *m),
+               member_rows(out.embedding.value(), *m));
+        else
+          sink(i, out.prediction.value(), out.embedding.value());
+      },
+      [&](std::size_t i) { sink(i, nn::Matrix(), nn::Matrix()); });
 }
 
 namespace {

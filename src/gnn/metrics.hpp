@@ -19,6 +19,8 @@
 
 namespace dg::gnn {
 
+class MergeCache;
+
 /// Batched-serving knobs shared by evaluation here and the
 /// deepgate::BatchRunner serving loop (which aliases this struct) — the
 /// defaults live in exactly one place.
@@ -29,9 +31,20 @@ struct ServeOptions {
   int threads = 0;               ///< max pool lanes claiming batches
                                  ///< (dynamically, off a shared counter);
                                  ///< 0 = DEEPGATE_THREADS, 1 = serial
+  std::size_t merge_cache_capacity = 32;  ///< merged super-graphs retained by
+                                 ///< consumers that own a MergeCache
+                                 ///< (BatchRunner, Engine::evaluate, the
+                                 ///< serve::Server lanes); 0 = off
+  MergeCache* merge_cache = nullptr;  ///< non-owning, thread-safe: when set,
+                                 ///< multi-graph groups are merged through
+                                 ///< the cache, so repeated serving/eval of
+                                 ///< identical groups skips merge+finalize.
+                                 ///< Never set by from_env(); the caller
+                                 ///< manages the cache's lifetime.
 
-  /// node_budget from DEEPGATE_SERVE_BUDGET and max_graphs from
-  /// DEEPGATE_SERVE_MAX_GRAPHS when set.
+  /// node_budget from DEEPGATE_SERVE_BUDGET, max_graphs from
+  /// DEEPGATE_SERVE_MAX_GRAPHS, merge_cache_capacity from
+  /// DEEPGATE_SERVE_CACHE when set.
   static ServeOptions from_env();
 };
 
@@ -57,6 +70,18 @@ std::size_t forward_batched(const std::vector<const CircuitGraph*>& graphs,
                             const ServeOptions& opts,
                             const std::function<nn::Tensor(const CircuitGraph&)>& forward,
                             const std::function<void(std::size_t, nn::Matrix)>& sink);
+
+/// The fused twin of forward_batched for callers that want prediction AND
+/// embedding: `forward` (typically Model::forward_outputs) runs ONE
+/// level-loop pass per batch and the sink receives both row blocks —
+/// sink(graph_index, prediction_rows, embedding_rows) — instead of paying a
+/// second identical propagation through a separate embed pass. Same batching
+/// plan, pool fan-out, zero-node handling (both matrices empty), merge-cache
+/// use, and exactly-once sink contract as forward_batched.
+std::size_t forward_outputs_batched(
+    const std::vector<const CircuitGraph*>& graphs, const ServeOptions& opts,
+    const std::function<ForwardOutputs(const CircuitGraph&)>& forward,
+    const std::function<void(std::size_t, nn::Matrix, nn::Matrix)>& sink);
 
 /// Eq. (8) over one circuit with an explicit prediction vector.
 double avg_prediction_error(const std::vector<float>& labels, const nn::Matrix& pred);

@@ -29,6 +29,16 @@ struct ModelConfig {
   std::uint64_t seed = 7;  ///< weight init + h0 stream
 };
 
+/// Both outputs of one model forward. Every family computes the final N x d
+/// node states as a byproduct of predicting (the regressor reads them), so a
+/// caller that wants prediction AND embedding must not pay two level-loop
+/// propagations — forward_outputs() yields both from a single pass,
+/// bit-exact with separate predict()/embed() calls.
+struct ForwardOutputs {
+  nn::Tensor prediction;  ///< N x 1 sigmoid-bounded probabilities (== predict)
+  nn::Tensor embedding;   ///< N x d final node states (== embed)
+};
+
 class Model {
  public:
   explicit Model(const ModelConfig& cfg) : cfg_(cfg) {}
@@ -37,6 +47,12 @@ class Model {
   /// Per-node probability predictions (N x 1, sigmoid-bounded). Builds a
   /// fresh tape; wrap in nn::NoGradGuard for inference.
   virtual nn::Tensor predict(const CircuitGraph& g) const = 0;
+
+  /// One level-loop forward yielding BOTH the prediction and the final
+  /// embedding — the fused path every want-both consumer (Engine::infer_batch,
+  /// the serve worker lanes, BatchRunner::infer) runs on. Bit-exact with
+  /// calling predict() and embed() separately, at half the propagation cost.
+  virtual ForwardOutputs forward_outputs(const CircuitGraph& g) const = 0;
 
   /// Inference with an overridden recurrence count (Sec. IV-D.2: "the number
   /// of iterations T can be set as different values" at inference time).

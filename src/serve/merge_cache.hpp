@@ -1,65 +1,17 @@
-// Signature-keyed cache of merged super-graphs.
+// The merged super-graph signature cache used by the serving lanes.
 //
-// Serving the same batch composition repeatedly re-pays CircuitGraph::merge
-// + finalize (per-level edge batches, skip batches, positional encodings) on
-// every request — for steady traffic over a fixed catalog of circuits that
-// is pure rework. The cache keys one merged super-graph by the ordered
-// identities of its members (pointer + node/level counts folded through
-// FNV-1a) and holds the results in a bounded LRU. Values are shared_ptr so
-// an entry evicted mid-forward stays alive until the lane using it is done.
-//
-// The key folds each member's pointer AND its full structural content
-// (types, levels, edges, skip edges), so a freed-and-reallocated different
-// graph at the same address cannot hit a stale entry short of a genuine
-// 64-bit hash collision. The O(N+E) hashing per lookup is noise next to the
-// model forward a hit feeds — the expensive thing being avoided is
-// finalize(), which builds per-level batches and positional encodings.
-//
-// Thread-safe: lookups and inserts from concurrent worker lanes serialize on
-// an internal mutex; the merge itself runs outside the lock, so two lanes
-// may race to build the same entry (both results are identical; last insert
-// wins, one is wasted work — acceptable and rare).
+// The implementation moved down to the gnn layer (gnn/merge_cache.hpp) so
+// the offline consumers — BatchRunner and Engine::evaluate via
+// gnn::forward_batched — share the exact same cache type without a serve ->
+// core -> serve dependency cycle. This header keeps the historical
+// deepgate::serve spelling alive for the serving loop and its tests.
 #pragma once
 
-#include "gnn/circuit_graph.hpp"
-#include "util/lru.hpp"
-
-#include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <vector>
+#include "gnn/merge_cache.hpp"
 
 namespace deepgate::serve {
 
-struct MergeCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;    ///< lookups that had to merge (or found cache off)
-  std::size_t entries = 0;     ///< current resident merged graphs
-};
-
-class MergeCache {
- public:
-  /// `capacity` merged super-graphs are kept; 0 disables caching (every
-  /// lookup merges fresh).
-  explicit MergeCache(std::size_t capacity);
-
-  /// Ordered FNV-1a signature of a batch composition.
-  static std::uint64_t signature(const std::vector<const dg::gnn::CircuitGraph*>& parts);
-
-  /// The merged super-graph for `parts`: cached when the same composition
-  /// was served before, freshly merged (and inserted) otherwise.
-  std::shared_ptr<const dg::gnn::CircuitGraph> merged(
-      const std::vector<const dg::gnn::CircuitGraph*>& parts);
-
-  MergeCacheStats stats() const;
-  std::size_t capacity() const { return capacity_; }
-
- private:
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  dg::util::LruCache<std::uint64_t, std::shared_ptr<const dg::gnn::CircuitGraph>> cache_;
-  MergeCacheStats stats_;
-};
+using MergeCache = dg::gnn::MergeCache;
+using MergeCacheStats = dg::gnn::MergeCacheStats;
 
 }  // namespace deepgate::serve

@@ -49,14 +49,13 @@ ServerOptions ServerOptions::from_env() {
   const dg::gnn::ServeOptions base = dg::gnn::ServeOptions::from_env();
   opts.node_budget = base.node_budget;
   opts.max_graphs = base.max_graphs;
+  opts.merge_cache_capacity = base.merge_cache_capacity;  // DEEPGATE_SERVE_CACHE
   const long long lanes = dg::util::env_int("DEEPGATE_SERVE_LANES", -1);
   if (lanes > 0) opts.lanes = static_cast<int>(lanes);
   const long long delay_ms = dg::util::env_int("DEEPGATE_SERVE_DELAY_MS", -1);
   if (delay_ms >= 0) opts.max_batch_delay = std::chrono::microseconds(delay_ms * 1000);
   const long long cap = dg::util::env_int("DEEPGATE_SERVE_QUEUE_CAP", -1);
   if (cap > 0) opts.queue_capacity = static_cast<std::size_t>(cap);
-  const long long cache = dg::util::env_int("DEEPGATE_SERVE_CACHE", -1);
-  if (cache >= 0) opts.merge_cache_capacity = static_cast<std::size_t>(cache);
   opts.depth_aware = dg::util::env_int("DEEPGATE_SERVE_DEPTH_AWARE", 1) != 0;
   return opts;
 }
@@ -85,6 +84,16 @@ void Server::fail(std::promise<Response>& promise, const char* what) {
   promise.set_exception(std::make_exception_ptr(ServeError(what)));
 }
 
+void Server::note_admitted(bool served_immediately) {
+  // The ONE place `submitted` is bumped — every admission flows through here
+  // (submit and try_submit, queued and zero-node fast paths), so the Stats
+  // balance invariant (submitted == served + cancelled + failed at
+  // quiescence) cannot drift as entry points evolve.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.submitted += 1;
+  if (served_immediately) stats_.served += 1;
+}
+
 std::future<Response> Server::submit(const Request& request) {
   if (request.graph == nullptr) throw std::invalid_argument("serve::submit: null graph");
   std::promise<Response> promise;
@@ -100,9 +109,7 @@ std::future<Response> Server::submit(const Request& request) {
   if (request.graph->num_nodes == 0) {
     // Nothing to forward: resolve immediately with an empty response.
     promise.set_value(Response{});
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.submitted += 1;
-    stats_.served += 1;
+    note_admitted(/*served_immediately=*/true);
     return future;
   }
   Pending pending{request, std::move(promise), Clock::now()};
@@ -112,8 +119,7 @@ std::future<Response> Server::submit(const Request& request) {
     stats_.rejected_stopped += 1;
     return future;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.submitted += 1;
+  note_admitted(/*served_immediately=*/false);
   return future;
 }
 
@@ -129,17 +135,14 @@ SubmitStatus Server::try_submit(const Request& request, std::future<Response>& o
   if (request.graph->num_nodes == 0) {
     promise.set_value(Response{});
     out = std::move(future);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.submitted += 1;
-    stats_.served += 1;
+    note_admitted(/*served_immediately=*/true);
     return SubmitStatus::kAccepted;
   }
   Pending pending{request, std::move(promise), Clock::now()};
   switch (admission_.try_push(pending)) {
     case PushResult::kOk: {
       out = std::move(future);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.submitted += 1;
+      note_admitted(/*served_immediately=*/false);
       return SubmitStatus::kAccepted;
     }
     case PushResult::kFull: {
@@ -301,16 +304,29 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
   try {
     std::shared_ptr<const CircuitGraph> merged;  // multi-member groups only
     dg::nn::Matrix pred;
-    dg::nn::Matrix emb;
+    dg::nn::Tensor emb;  // shared handle into the forward's tape node — the
+                         // super-graph embedding matrix is never copied,
+                         // only member rows are sliced out below
+    // ONE level-loop forward either way: forward_outputs yields the
+    // prediction and the embedding from the same propagation when any member
+    // asked for its vectors — embedding-bearing traffic no longer pays the
+    // second full forward the old predict-then-embed pair ran.
+    const auto forward = [&](const CircuitGraph& g) {
+      if (any_embedding) {
+        const dg::gnn::ForwardOutputs out = model.forward_outputs(g);
+        pred = out.prediction.value();
+        emb = out.embedding;
+      } else {
+        pred = model.predict(g).value();
+      }
+    };
     if (graphs.size() == 1) {
       // Solo group: the literal single-graph code path — trivially bit-exact
       // with Engine::predict_probabilities.
-      pred = model.predict(*graphs[0]).value();
-      if (any_embedding) emb = model.embed(*graphs[0]).value();
+      forward(*graphs[0]);
     } else {
       merged = merge_cache_.merged(graphs);
-      pred = model.predict(*merged).value();
-      if (any_embedding) emb = model.embed(*merged).value();
+      forward(*merged);
     }
     const Clock::time_point done = Clock::now();
 
@@ -320,11 +336,12 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
       Response response;
       if (merged == nullptr) {
         response.probabilities = column_of(pred);
-        if (pending.request.want_embedding) response.embedding = emb;
+        if (pending.request.want_embedding) response.embedding = emb.value();
       } else {
         const dg::gnn::GraphMember& m = merged->members[i];
         response.probabilities = member_column(pred, m);
-        if (pending.request.want_embedding) response.embedding = dg::gnn::member_rows(emb, m);
+        if (pending.request.want_embedding)
+          response.embedding = dg::gnn::member_rows(emb.value(), m);
       }
       response.queue_seconds = seconds_between(pending.admitted, work.window_closed);
       response.service_seconds = seconds_between(work.window_closed, done);

@@ -26,10 +26,15 @@
 //   (FIFO or depth-aware) then splits the window into merge groups.
 // - Worker lanes drain formed batches through level-merged forwards
 //   (CircuitGraph::merge via the signature-keyed MergeCache), scatter
-//   per-member rows back, and fulfill the promises. Merged forwards are
+//   per-member rows back, and fulfill the promises. When any member wants
+//   its embedding the lane runs the fused Model::forward_outputs — ONE
+//   level-loop pass yields prediction AND embedding, and embedding rows are
+//   sliced out only for the members that asked (no whole-batch second
+//   forward, no whole-batch embedding copies). Merged forwards are
 //   bit-exact per member and each lane's clone carries identical parameters,
-//   so a served Response equals a direct Engine::predict_probabilities call
-//   REGARDLESS of how requests happened to be batched.
+//   so a served Response equals a direct Engine::predict_probabilities /
+//   Engine::embeddings call REGARDLESS of how requests happened to be
+//   batched.
 // - shutdown(drain=true) serves everything already admitted, then joins;
 //   shutdown(drain=false) cancels queued-but-unformed requests with an
 //   explicit exception (batches already handed to lanes still complete).
@@ -114,6 +119,16 @@ struct ServerOptions {
 
 /// Monotonic counters + a queue-depth snapshot. All counters are cumulative
 /// since construction; means derive as sum / count.
+///
+/// Accounting invariant (asserted by tests/serve_test.cpp): every admitted
+/// request resolves exactly once, so at any quiescent point — after
+/// shutdown(), or once every returned future is ready —
+///
+///   submitted == served + cancelled + failed
+///
+/// holds exactly. `submitted` is bumped in ONE place (Server::note_admitted,
+/// through which every entry point flows); rejected_* count attempts that
+/// were never admitted and are deliberately NOT part of `submitted`.
 struct Stats {
   std::uint64_t submitted = 0;          ///< requests admitted (incl. zero-node fast path)
   std::uint64_t rejected_overload = 0;  ///< try_submit refused: queue full
@@ -200,6 +215,9 @@ class Server {
   void worker_loop();
   void dispatch_window(std::vector<Pending>& window, CloseReason reason);
   void run_work(Work& work, const dg::gnn::Model& model);
+  /// The single site that bumps Stats::submitted (and served, for requests
+  /// resolved at admission) — keeps the balance invariant audit-proof.
+  void note_admitted(bool served_immediately);
   static void fail(std::promise<Response>& promise, const char* what);
 
   const Engine& engine_;

@@ -5,12 +5,16 @@
 #include "core/deepgate.hpp"
 #include "data/generators_large.hpp"
 #include "data/generators_small.hpp"
+#include "gnn/merge_cache.hpp"
 #include "netlist/to_aig.hpp"
 #include "sim/probability.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <vector>
 
 namespace dg {
@@ -264,6 +268,153 @@ TEST(BatchRunner, BudgetedFanOutMatchesSinglePath) {
   EXPECT_GE(runner.stats().batches, 2u);
 }
 
+bool bit_equal_matrix(const nn::Matrix& a, const nn::Matrix& b) {
+  return a.same_shape(b) && std::equal(a.data(), a.data() + a.size(), b.data());
+}
+
+// -- Fused forward outputs -----------------------------------------------------
+
+// The tentpole contract: for every Table II family, ONE forward_outputs pass
+// is bitwise identical to separate predict() + embed() calls — on each solo
+// graph and on the level-merged batch of all of them.
+TEST(FusedForward, BitwiseEqualsSeparatePredictAndEmbed) {
+  const auto graphs = mixed_graphs();
+  std::vector<const CircuitGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+  const CircuitGraph merged = CircuitGraph::merge(ptrs);
+
+  for (const ModelSpec& spec : table2_specs()) {
+    const auto model = gnn::make_model(spec, tiny_config());
+    nn::NoGradGuard no_grad;
+    const auto check = [&](const CircuitGraph& g, const char* what) {
+      const gnn::ForwardOutputs fused = model->forward_outputs(g);
+      EXPECT_TRUE(bit_equal_matrix(fused.prediction.value(), model->predict(g).value()))
+          << gnn::model_spec_label(spec) << " prediction " << what;
+      EXPECT_TRUE(bit_equal_matrix(fused.embedding.value(), model->embed(g).value()))
+          << gnn::model_spec_label(spec) << " embedding " << what;
+    };
+    for (std::size_t i = 0; i < graphs.size(); ++i) check(graphs[i], "solo");
+    check(merged, "merged");
+  }
+}
+
+// Engine::infer_batch must reproduce the predict_batch + embeddings_batch
+// pair bitwise while running one merge + one forward instead of two of each.
+TEST(FusedForward, InferBatchMatchesSeparateBatchCalls) {
+  const auto graphs = mixed_graphs();
+  std::vector<const CircuitGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  for (const ModelSpec& spec : table2_specs()) {
+    deepgate::Options options;
+    options.spec = spec;
+    options.model = tiny_config();
+    const deepgate::Engine engine(options);
+
+    const deepgate::BatchInference fused = engine.infer_batch(ptrs);
+    const auto probs = engine.predict_batch(ptrs);
+    const auto embs = engine.embeddings_batch(ptrs);
+    ASSERT_EQ(fused.probabilities.size(), graphs.size());
+    ASSERT_EQ(fused.embeddings.size(), graphs.size());
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      EXPECT_EQ(fused.probabilities[i], probs[i]) << gnn::model_spec_label(spec) << " graph " << i;
+      EXPECT_TRUE(bit_equal_matrix(fused.embeddings[i], embs[i]))
+          << gnn::model_spec_label(spec) << " graph " << i;
+    }
+  }
+
+  // Degenerate requests follow the predict_batch contract.
+  const deepgate::Engine engine;
+  EXPECT_TRUE(engine.infer_batch({}).probabilities.empty());
+  CircuitGraph empty;
+  empty.finalize();
+  const auto mixed = engine.infer_batch({&graphs[0], &empty});
+  ASSERT_EQ(mixed.probabilities.size(), 2u);
+  EXPECT_EQ(mixed.probabilities[0], engine.predict_probabilities(graphs[0]));
+  EXPECT_TRUE(mixed.probabilities[1].empty());
+  EXPECT_EQ(mixed.embeddings[1].rows(), 0);
+  EXPECT_THROW(engine.infer_batch({nullptr}), std::invalid_argument);
+}
+
+// BatchRunner::infer: fused through budgeted packing + pool fan-out, and
+// repeated identical requests hit the runner-owned merge cache.
+TEST(BatchRunner, FusedInferMatchesSeparateAndHitsMergeCache) {
+  const auto graphs = mixed_graphs();
+  std::vector<const CircuitGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  deepgate::BatchOptions bopts;
+  // Large enough to form multi-member merge groups (solo batches bypass the
+  // cache), small enough to keep several batches for the pool to claim.
+  bopts.node_budget = 2048;
+  bopts.threads = 4;
+  const deepgate::BatchRunner runner(engine, bopts);
+
+  const deepgate::BatchInference fused = runner.infer(ptrs);
+  const auto probs = runner.predict(ptrs);
+  const auto embs = runner.embeddings(ptrs);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(fused.probabilities[i], probs[i]) << "graph " << i;
+    EXPECT_TRUE(bit_equal_matrix(fused.embeddings[i], embs[i])) << "graph " << i;
+    EXPECT_EQ(fused.probabilities[i], engine.predict_probabilities(graphs[i]));
+  }
+  // Three calls over the same request list: the first pays every merge, the
+  // later ones hit the signature cache (multi-member groups only).
+  EXPECT_GE(runner.merge_cache_stats().hits, 1u);
+  const auto again = runner.infer(ptrs);
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    EXPECT_EQ(again.probabilities[i], fused.probabilities[i]);
+}
+
+// -- Checkpoint round trip ------------------------------------------------------
+
+// save -> perturb every parameter -> load must restore predict AND the fused
+// forward_outputs bit-exactly, for every family, solo and merged.
+TEST(EngineCheckpoint, SavePerturbLoadRestoresBitExactOutputs) {
+  const auto graphs = mixed_graphs();
+  std::vector<const CircuitGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  for (const ModelSpec& spec : table2_specs()) {
+    deepgate::Options options;
+    options.spec = spec;
+    options.model = tiny_config();
+    deepgate::Engine engine(options);
+
+    const auto ref_solo = engine.predict_probabilities(graphs[0]);
+    const deepgate::BatchInference ref = engine.infer_batch(ptrs);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "dg_fused_ckpt.dgtp").string();
+    ASSERT_TRUE(engine.save(path)) << gnn::model_spec_label(spec);
+
+    // Perturb every parameter in place; predictions must visibly change so
+    // the reload below proves restoration rather than a no-op.
+    for (auto& [name, tensor] : engine.model().named_params()) {
+      nn::Matrix& value = tensor.mutable_value();
+      for (std::size_t k = 0; k < value.size(); ++k) value.data()[k] += 0.25F;
+    }
+    EXPECT_NE(engine.predict_probabilities(graphs[0]), ref_solo)
+        << gnn::model_spec_label(spec) << " (perturbation had no effect)";
+
+    ASSERT_TRUE(engine.load(path)) << gnn::model_spec_label(spec);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(engine.predict_probabilities(graphs[0]), ref_solo) << gnn::model_spec_label(spec);
+    const deepgate::BatchInference reloaded = engine.infer_batch(ptrs);
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      EXPECT_EQ(reloaded.probabilities[i], ref.probabilities[i])
+          << gnn::model_spec_label(spec) << " graph " << i;
+      EXPECT_TRUE(bit_equal_matrix(reloaded.embeddings[i], ref.embeddings[i]))
+          << gnn::model_spec_label(spec) << " graph " << i;
+    }
+  }
+}
+
 TEST(BatchedEvaluate, MatchesPerGraphFallbackAndIsDeterministic) {
   const auto graphs = mixed_graphs();
   deepgate::Options options;
@@ -285,6 +436,53 @@ TEST(BatchedEvaluate, MatchesPerGraphFallbackAndIsDeterministic) {
   EXPECT_EQ(e_batched, e_fallback);
   EXPECT_EQ(e_fallback, e_serial);
   EXPECT_EQ(engine.evaluate(graphs), e_serial);
+}
+
+// Repeated offline eval of a fixed test set re-forms identical merge groups
+// every pass: with a caller-attached MergeCache the second pass hits the
+// signature cache instead of re-paying merge+finalize, and the Eq. (8)
+// number is unchanged. Engine::evaluate wires its own cache the same way.
+TEST(BatchedEvaluate, MergeCacheReusedAcrossRepeatedEvaluate) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  gnn::MergeCache cache(8);
+  gnn::EvalOptions opts;
+  opts.node_budget = 2048;  // multi-member groups (solo batches bypass the cache)
+  opts.merge_cache = &cache;
+
+  const double uncached = gnn::evaluate(engine.model(), graphs, gnn::EvalOptions{});
+  const double first = gnn::evaluate(engine.model(), graphs, opts);
+  const auto after_first = cache.stats();
+  EXPECT_GE(after_first.misses, 1u);
+  const double second = gnn::evaluate(engine.model(), graphs, opts);
+  const auto after_second = cache.stats();
+  EXPECT_GE(after_second.hits, 1u);
+  EXPECT_EQ(after_second.misses, after_first.misses);  // nothing re-merged
+  EXPECT_EQ(first, second);
+  // Budgets differ between opts and the default, but the result is the same
+  // batched-bit-exact Eq. (8) number either way.
+  EXPECT_EQ(first, uncached);
+
+  // The engine-owned cache behind Engine::evaluate: first call merges,
+  // repeats hit.
+  const double e1 = engine.evaluate(graphs);
+  const auto engine_first = engine.eval_merge_cache_stats();
+  const double e2 = engine.evaluate(graphs);
+  const auto engine_second = engine.eval_merge_cache_stats();
+  EXPECT_EQ(e1, e2);
+  EXPECT_GT(engine_second.hits, engine_first.hits);
+  EXPECT_EQ(engine_second.misses, engine_first.misses);
+
+  // clear() releases the retained super-graphs; the next eval re-merges
+  // (a fresh miss) and still reports the identical number.
+  EXPECT_GE(engine_second.entries, 1u);
+  engine.clear_eval_cache();
+  EXPECT_EQ(engine.eval_merge_cache_stats().entries, 0u);
+  EXPECT_EQ(engine.evaluate(graphs), e1);
+  EXPECT_GT(engine.eval_merge_cache_stats().misses, engine_second.misses);
 }
 
 TEST(EffectiveIterations, RecurrentHonorsOverrideStackedLogsOnce) {

@@ -118,6 +118,44 @@ TEST(ServeLoop, BitExactWithDirectEngineForAllFamilies) {
   }
 }
 
+// Satellite of the fused-forward fix: when only SOME members of a batch ask
+// for embeddings, the lane still runs one fused pass and slices embedding
+// rows out for the requesters alone — non-requesters get an empty matrix,
+// requesters get rows bit-exact with the direct Engine call.
+TEST(ServeLoop, EmbeddingOnlyForRequestingMembers) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.node_budget = 1u << 30;
+  sopts.max_graphs = graphs.size();
+  sopts.max_batch_delay = std::chrono::seconds(3600);
+  auto server = deepgate::serve::start(engine, sopts);
+
+  // One full window with alternating want_embedding flags.
+  server->pause();
+  std::vector<std::future<Response>> futures;
+  for (std::size_t k = 0; k < graphs.size(); ++k)
+    futures.push_back(server->submit({&graphs[k], /*want_embedding=*/k % 2 == 0}));
+  server->resume();
+
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    const Response r = futures[k].get();
+    EXPECT_EQ(r.probabilities, engine.predict_probabilities(graphs[k])) << "request " << k;
+    if (k % 2 == 0) {
+      const nn::Matrix emb = engine.embeddings(graphs[k]);
+      ASSERT_TRUE(r.embedding.same_shape(emb)) << "request " << k;
+      EXPECT_TRUE(std::equal(emb.data(), emb.data() + emb.size(), r.embedding.data()))
+          << "request " << k;
+    } else {
+      EXPECT_EQ(r.embedding.rows(), 0) << "request " << k;
+    }
+  }
+}
+
 // Depth-aware and FIFO packing must serve identical results — packing only
 // permutes batch composition.
 TEST(ServeLoop, PackingPolicyCannotChangeResults) {
@@ -369,6 +407,98 @@ TEST(ServeLoop, DestructorDrains) {
   }
   for (std::size_t k = 0; k < futures.size(); ++k)
     EXPECT_EQ(futures[k].get().probabilities, engine.predict_probabilities(graphs[k]));
+}
+
+// -- Stats balance -------------------------------------------------------------
+
+// The accounting invariant of serve::Stats: once quiescent, every admitted
+// request resolved exactly once — submitted == served + cancelled + failed —
+// and rejected attempts are NOT part of submitted. Exercised across every
+// admission path: submit, try_submit, the zero-node fast path, overload
+// rejection, and both shutdown modes.
+TEST(ServeStats, BalanceInvariantHoldsAtDrainShutdown) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 2;
+  sopts.queue_capacity = 4;
+  auto server = deepgate::serve::start(engine, sopts);
+
+  CircuitGraph empty;
+  empty.finalize();
+  std::uint64_t attempts = 0, rejected = 0;
+
+  // Zero-node fast path (admitted AND served immediately).
+  auto fe = server->submit({&empty, true});
+  ++attempts;
+
+  // Fill the paused queue to capacity via try_submit, then collect overload
+  // rejections — attempts that must never count as submitted.
+  server->pause();
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < sopts.queue_capacity; ++i) {
+    std::future<Response> f;
+    ASSERT_EQ(server->try_submit({&graphs[i % graphs.size()]}, f), SubmitStatus::kAccepted);
+    futures.push_back(std::move(f));
+    ++attempts;
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::future<Response> f;
+    ASSERT_EQ(server->try_submit({&graphs[0]}, f), SubmitStatus::kOverloaded);
+    ++attempts;
+    ++rejected;
+  }
+  server->resume();
+  for (const auto& g : graphs) {
+    futures.push_back(server->submit({&g, true}));
+    ++attempts;
+  }
+  server->shutdown(/*drain=*/true);
+  fe.get();
+  for (auto& f : futures) f.get();
+
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.submitted, stats.served + stats.cancelled + stats.failed);
+  EXPECT_EQ(stats.submitted, attempts - rejected);
+  EXPECT_EQ(stats.rejected_overload, rejected);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServeStats, BalanceInvariantHoldsAtCancelShutdown) {
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 1;
+  sopts.queue_capacity = 16;
+  auto server = deepgate::serve::start(engine, sopts);
+
+  // One request served before the cancel, the rest held in the queue.
+  auto served = server->submit({&graphs[0]});
+  served.get();
+  server->pause();
+  std::vector<std::future<Response>> held;
+  for (const auto& g : graphs) held.push_back(server->submit({&g}));
+  server->shutdown(/*drain=*/false);
+  for (auto& f : held) EXPECT_THROW(f.get(), deepgate::serve::ServeError);
+
+  // Attempts after shutdown are rejections, not submissions.
+  auto late = server->submit({&graphs[0]});
+  EXPECT_THROW(late.get(), deepgate::serve::ServeError);
+
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.submitted, stats.served + stats.cancelled + stats.failed);
+  EXPECT_EQ(stats.submitted, 1u + held.size());
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.cancelled, held.size());
+  EXPECT_EQ(stats.rejected_stopped, 1u);
 }
 
 // -- Merge cache ---------------------------------------------------------------
