@@ -18,7 +18,10 @@
 #include "core/batch_runner.hpp"
 #include "core/deepgate.hpp"
 #include "data/generators_large.hpp"
+#include "nn/simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
+
+#include <string>
 
 #include <algorithm>
 #include <cmath>
@@ -76,8 +79,11 @@ int main(int argc, char** argv) {
   }
   std::vector<const gnn::CircuitGraph*> ptrs;
   for (const auto& g : graphs) ptrs.push_back(&g);
-  std::printf("workload: %d graphs, %zu nodes total, pool=%d threads\n\n", wl.num_graphs,
+  std::printf("workload: %d graphs, %zu nodes total, pool=%d threads\n", wl.num_graphs,
               total_nodes, pool_threads);
+  std::printf("simd: active=%s (DEEPGATE_SIMD), best=%s\n\n",
+              nn::kern::simd::level_name(nn::kern::simd::active()),
+              nn::kern::simd::level_name(nn::kern::simd::best_available()));
 
   deepgate::Options options;
   options.model = ctx.model;
@@ -198,6 +204,72 @@ int main(int argc, char** argv) {
   }
   std::printf("equivalence: batched == single and fused == separate on all %d graphs\n",
               wl.num_graphs);
+
+  // -- kernel dispatch sweep: single-core nodes/sec per backend + bf16 -------
+  // The serving-relevant configuration (the issue's acceptance metric):
+  // node-budgeted merged batches served serially at 1 pool thread, so the
+  // per-path rows isolate raw kernel throughput from pool scaling, and the
+  // level batches are large enough that the float kernels dominate (the
+  // single-graph loop dilutes them with per-call tape/merge overhead). The
+  // speedup target lives in the JSON (speedup_vs_scalar); CI gates on the
+  // bench-trend comparison rather than a hard in-process threshold, which
+  // shared-runner noise would flake.
+  {
+    using nn::kern::SimdLevel;
+    namespace simd = nn::kern::simd;
+    util::set_global_threads(1);
+    double scalar_secs = 0.0;
+    double best_level_secs = 0.0;
+    for (const SimdLevel l : {SimdLevel::kScalar, SimdLevel::kGeneric, SimdLevel::kAvx2}) {
+      if (!simd::available(l)) continue;
+      const SimdLevel prev = simd::set_level(l);
+      std::vector<std::vector<float>> out;
+      const double secs = time_best_of(wl.reps, [&] { out = serial_runner.predict(ptrs); });
+      simd::set_level(prev);
+      if (l == SimdLevel::kScalar) scalar_secs = secs;
+      if (l == simd::best_available()) best_level_secs = secs;
+      // All backends must reproduce the reference predictions (bitwise for
+      // scalar/generic; avx2's polynomial sigmoid/tanh within its bound).
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        for (std::size_t v = 0; v < reference[i].size(); ++v)
+          if (std::abs(out[i][v] - reference[i][v]) > 1e-4F) {
+            std::fprintf(stderr, "FAIL: %s backend diverged from reference (graph %zu "
+                                 "node %zu)\n", simd::level_name(l), i, v);
+            return 1;
+          }
+      const std::string mode = std::string("kernels_") + simd::level_name(l);
+      record(mode.c_str(), 1, serial_opts.node_budget, secs);
+      records.back().num("speedup_vs_scalar", scalar_secs / secs);
+    }
+
+    // bf16 weights at the best backend: throughput plus the accuracy cost.
+    deepgate::Options bf16_options = options;
+    bf16_options.precision = deepgate::Precision::kBf16;
+    const deepgate::Engine bf16_engine(bf16_options);
+    const deepgate::BatchRunner bf16_runner(bf16_engine, serial_opts);
+    std::vector<std::vector<float>> bf16_out;
+    const double bf16_secs = time_best_of(wl.reps, [&] { bf16_out = bf16_runner.predict(ptrs); });
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      for (std::size_t v = 0; v < reference[i].size(); ++v)
+        max_delta = std::max(max_delta,
+                             static_cast<double>(std::abs(bf16_out[i][v] - reference[i][v])));
+    if (max_delta > 1e-2) {
+      std::fprintf(stderr, "FAIL: bf16 predictions drifted %.3g from fp32 (bound 1e-2)\n",
+                   max_delta);
+      return 1;
+    }
+    record("kernels_bf16", 1, serial_opts.node_budget, bf16_secs);
+    records.back().num("speedup_vs_scalar", scalar_secs / bf16_secs);
+    records.back().num("max_abs_delta_vs_fp32", max_delta);
+    util::set_global_threads(util::default_num_threads());
+
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf("kernel dispatch: best=%s %.2fx over scalar single-core; bf16 max |delta| "
+                "%.2e vs fp32\n\n",
+                simd::level_name(simd::best_available()),
+                best_level_secs > 0.0 ? scalar_secs / best_level_secs : 0.0, max_delta);
+  }
 
   if (!bench::write_json_report(ctx, "micro_serving", records)) return 1;
   if (!ctx.json_path.empty()) std::printf("json report: %s\n", ctx.json_path.c_str());

@@ -53,6 +53,12 @@ class DagConvModel final : public Model {
     regressor_.collect(out, prefix + ".regressor");
   }
 
+  void quantize_bf16() override {
+    Model::quantize_bf16();
+    for (auto& layer : layers_) layer.quantize_bf16();
+    regressor_.quantize_bf16();
+  }
+
   const char* name() const override { return "DAG-ConvGNN"; }
 
  private:

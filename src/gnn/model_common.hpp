@@ -80,6 +80,14 @@ class Model {
   virtual void collect(nn::NamedParams& out, const std::string& prefix) const = 0;
   virtual const char* name() const = 0;
 
+  /// Switch the model to bf16 inference weights: round EVERY parameter to
+  /// the bf16 grid in place (idempotent) and build packed bf16 shadows in
+  /// the Linear sublayers. Raw-Tensor parameters (the GRU gate weights) keep
+  /// fp32 storage but hold exactly bf16-representable values, so the whole
+  /// forward is bitwise a function of bf16 weights. Must be re-invoked after
+  /// any parameter mutation (load, training step, copy_params).
+  virtual void quantize_bf16();
+
   nn::NamedParams named_params() const {
     nn::NamedParams p;
     collect(p, "model");
@@ -107,6 +115,10 @@ class Regressor {
 
   /// h_full: N x d node states in node order -> N x 1 predictions.
   nn::Tensor forward(const nn::Tensor& h_full, const CircuitGraph& g) const;
+
+  void quantize_bf16() {
+    for (nn::Mlp& h : heads_) h.quantize_bf16();
+  }
 
   void collect(nn::NamedParams& out, const std::string& prefix) const;
 
@@ -149,6 +161,10 @@ class DirectedLayer {
            const std::vector<nn::Tensor>& queries, const std::vector<nn::Tensor>& x_lvl) const;
 
   void collect(nn::NamedParams& out, const std::string& prefix) const;
+
+  /// Quantize the aggregator's Linear sublayers; the GRU's raw Tensors are
+  /// rounded by the model-level named-params pass.
+  void quantize_bf16() { agg_->quantize_bf16(); }
 
  private:
   bool reversed_;

@@ -1,10 +1,11 @@
 #include "nn/kernels.hpp"
 
+#include "nn/simd/backend.hpp"
+#include "nn/simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <cstdint>
 
 namespace dg::nn::kern {
@@ -15,6 +16,10 @@ namespace {
 // serial loop, so results are bit-identical at every DEEPGATE_THREADS value.
 // The grain keeps small matrices (the per-level batches of shallow circuits)
 // on the calling thread where pool dispatch would dominate.
+//
+// SIMD dispatch happens INSIDE the chunks: the partitioning below is
+// identical for every backend, and the active backend (see
+// nn/simd/dispatch.hpp) only changes how a chunk's inner loop is executed.
 constexpr std::int64_t kFlopGrain = 1 << 15;  // min useful flops per chunk
 constexpr std::int64_t kElemGrain = 1 << 15;  // min elements per chunk
 
@@ -43,23 +48,15 @@ void for_elem_blocks(std::size_t n, const Body& body) {
 }  // namespace
 
 // i-k-j loop order: the inner loop walks both B and C contiguously, which is
-// the cache-friendly ordering for row-major storage and lets the compiler
-// vectorize the j loop.
+// the cache-friendly ordering for row-major storage and vectorizes across
+// the independent j elements.
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  const KernelBackend& be = backend();
   for_row_blocks(m, static_cast<std::int64_t>(k) * n, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) {
-      const float* arow = a.row_ptr(i);
-      float* crow = c.row_ptr(i);
-      for (int p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0F) continue;
-        const float* brow = b.row_ptr(p);
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    be.matmul_rows(c.data(), a.data(), b.data(), i0, i1, k, n);
   });
   return c;
 }
@@ -68,18 +65,21 @@ void matmul_acc(Matrix& c, const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   assert(c.rows() == a.rows() && c.cols() == b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  const KernelBackend& be = backend();
   for_row_blocks(m, static_cast<std::int64_t>(k) * n, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) {
-      const float* arow = a.row_ptr(i);
-      float* crow = c.row_ptr(i);
-      for (int p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0F) continue;
-        const float* brow = b.row_ptr(p);
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    be.matmul_rows(c.data(), a.data(), b.data(), i0, i1, k, n);
   });
+}
+
+Matrix matmul_bf16(const Matrix& a, const Bf16Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  const KernelBackend& be = backend();
+  for_row_blocks(m, static_cast<std::int64_t>(k) * n, [&](int i0, int i1) {
+    be.matmul_bf16_rows(c.data(), a.data(), b.data(), i0, i1, k, n);
+  });
+  return c;
 }
 
 // Parallel over column blocks of C: every chunk keeps the serial p-ascending
@@ -88,23 +88,18 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
+  const KernelBackend& be = backend();
   util::parallel_for(0, n, row_grain(static_cast<std::int64_t>(k) * m),
-                     [&](std::int64_t j0_, std::int64_t j1_) {
-    const int j0 = static_cast<int>(j0_), j1 = static_cast<int>(j1_);
-    for (int p = 0; p < k; ++p) {
-      const float* arow = a.row_ptr(p);
-      const float* brow = b.row_ptr(p);
-      for (int i = 0; i < m; ++i) {
-        const float av = arow[i];
-        if (av == 0.0F) continue;
-        float* crow = c.row_ptr(i);
-        for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+                     [&](std::int64_t j0, std::int64_t j1) {
+                       be.matmul_tn_cols(c.data(), a.data(), b.data(), static_cast<int>(j0),
+                                         static_cast<int>(j1), k, m, n);
+                     });
   return c;
 }
 
+// Dot-product shaped (reduction over k per output element): j-vectorization
+// cannot keep the oracle's accumulation order, so this stays scalar-only.
+// It only runs in backward passes, never on the serving path.
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
@@ -127,8 +122,9 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
 Matrix add(const Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
   for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] + b.data()[i];
+    be.add_n(c.data() + i0, a.data() + i0, b.data() + i0, i1 - i0);
   });
   return c;
 }
@@ -136,8 +132,9 @@ Matrix add(const Matrix& a, const Matrix& b) {
 Matrix sub(const Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
   for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] - b.data()[i];
+    be.sub_n(c.data() + i0, a.data() + i0, b.data() + i0, i1 - i0);
   });
   return c;
 }
@@ -145,16 +142,18 @@ Matrix sub(const Matrix& a, const Matrix& b) {
 Matrix mul(const Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
   for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] * b.data()[i];
+    be.mul_n(c.data() + i0, a.data() + i0, b.data() + i0, i1 - i0);
   });
   return c;
 }
 
 Matrix scale(const Matrix& a, float s) {
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
   for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) c.data()[i] = a.data()[i] * s;
+    be.scale_n(c.data() + i0, a.data() + i0, s, i1 - i0);
   });
   return c;
 }
@@ -162,13 +161,10 @@ Matrix scale(const Matrix& a, float s) {
 Matrix add_rowvec(const Matrix& a, const Matrix& b) {
   assert(b.rows() == 1 && b.cols() == a.cols());
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
+  const std::size_t n = static_cast<std::size_t>(a.cols());
   for_row_blocks(a.rows(), a.cols(), [&](int r0, int r1) {
-    for (int r = r0; r < r1; ++r) {
-      const float* arow = a.row_ptr(r);
-      const float* brow = b.row_ptr(0);
-      float* crow = c.row_ptr(r);
-      for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + brow[j];
-    }
+    for (int r = r0; r < r1; ++r) be.add_n(c.row_ptr(r), a.row_ptr(r), b.row_ptr(0), n);
   });
   return c;
 }
@@ -176,26 +172,25 @@ Matrix add_rowvec(const Matrix& a, const Matrix& b) {
 Matrix scale_rows(const Matrix& a, const Matrix& s) {
   assert(s.rows() == a.rows() && s.cols() == 1);
   Matrix c(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float f = s.at(r, 0);
-    const float* arow = a.row_ptr(r);
-    float* crow = c.row_ptr(r);
-    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * f;
-  }
+  const KernelBackend& be = backend();
+  const std::size_t n = static_cast<std::size_t>(a.cols());
+  for (int r = 0; r < a.rows(); ++r) be.scale_n(c.row_ptr(r), a.row_ptr(r), s.at(r, 0), n);
   return c;
 }
 
 void acc(Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
+  const KernelBackend& be = backend();
   for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) a.data()[i] += b.data()[i];
+    be.acc_n(a.data() + i0, b.data() + i0, i1 - i0);
   });
 }
 
 void axpy(Matrix& a, float alpha, const Matrix& b) {
   assert(a.same_shape(b));
+  const KernelBackend& be = backend();
   for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) a.data()[i] += alpha * b.data()[i];
+    be.axpy_n(a.data() + i0, alpha, b.data() + i0, i1 - i0);
   });
 }
 
@@ -203,28 +198,31 @@ void axpy(Matrix& a, float alpha, const Matrix& b) {
 // element, so smaller blocks still amortize pool dispatch.
 Matrix sigmoid(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
   util::parallel_for(0, static_cast<std::int64_t>(a.size()), kElemGrain / 8,
                      [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i)
-      c.data()[i] = 1.0F / (1.0F + std::exp(-a.data()[i]));
-  });
+                       be.sigmoid_n(c.data() + i0, a.data() + i0,
+                                    static_cast<std::size_t>(i1 - i0));
+                     });
   return c;
 }
 
 Matrix tanh_m(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
   util::parallel_for(0, static_cast<std::int64_t>(a.size()), kElemGrain / 8,
                      [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) c.data()[i] = std::tanh(a.data()[i]);
-  });
+                       be.tanh_n(c.data() + i0, a.data() + i0,
+                                 static_cast<std::size_t>(i1 - i0));
+                     });
   return c;
 }
 
 Matrix relu(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
   for_elem_blocks(a.size(), [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i)
-      c.data()[i] = a.data()[i] > 0.0F ? a.data()[i] : 0.0F;
+    be.relu_n(c.data() + i0, a.data() + i0, i1 - i0);
   });
   return c;
 }
@@ -242,11 +240,9 @@ Matrix row_sum(const Matrix& a) {
 
 Matrix col_sum(const Matrix& a) {
   Matrix c(1, a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row_ptr(r);
-    float* crow = c.row_ptr(0);
-    for (int j = 0; j < a.cols(); ++j) crow[j] += arow[j];
-  }
+  const KernelBackend& be = backend();
+  for (int r = 0; r < a.rows(); ++r)
+    be.acc_n(c.row_ptr(0), a.row_ptr(r), static_cast<std::size_t>(a.cols()));
   return c;
 }
 
@@ -259,12 +255,11 @@ float sum_all(const Matrix& a) {
 Matrix concat_cols(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.rows(), a.cols() + b.cols());
+  const KernelBackend& be = backend();
   for (int r = 0; r < a.rows(); ++r) {
     float* crow = c.row_ptr(r);
-    const float* arow = a.row_ptr(r);
-    const float* brow = b.row_ptr(r);
-    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j];
-    for (int j = 0; j < b.cols(); ++j) crow[a.cols() + j] = brow[j];
+    be.copy_n(crow, a.row_ptr(r), static_cast<std::size_t>(a.cols()));
+    be.copy_n(crow + a.cols(), b.row_ptr(r), static_cast<std::size_t>(b.cols()));
   }
   return c;
 }
@@ -272,21 +267,19 @@ Matrix concat_cols(const Matrix& a, const Matrix& b) {
 Matrix slice_cols(const Matrix& a, int c0, int c1) {
   assert(0 <= c0 && c0 <= c1 && c1 <= a.cols());
   Matrix c(a.rows(), c1 - c0);
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row_ptr(r);
-    float* crow = c.row_ptr(r);
-    for (int j = c0; j < c1; ++j) crow[j - c0] = arow[j];
-  }
+  const KernelBackend& be = backend();
+  for (int r = 0; r < a.rows(); ++r)
+    be.copy_n(c.row_ptr(r), a.row_ptr(r) + c0, static_cast<std::size_t>(c1 - c0));
   return c;
 }
 
 Matrix gather_rows(const Matrix& a, const std::vector<int>& idx) {
   Matrix c(static_cast<int>(idx.size()), a.cols());
+  const KernelBackend& be = backend();
+  const std::size_t n = static_cast<std::size_t>(a.cols());
   for (std::size_t i = 0; i < idx.size(); ++i) {
     assert(idx[i] >= 0 && idx[i] < a.rows());
-    const float* arow = a.row_ptr(idx[i]);
-    float* crow = c.row_ptr(static_cast<int>(i));
-    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j];
+    be.copy_n(c.row_ptr(static_cast<int>(i)), a.row_ptr(idx[i]), n);
   }
   return c;
 }
@@ -294,15 +287,16 @@ Matrix gather_rows(const Matrix& a, const std::vector<int>& idx) {
 Matrix scatter_add_rows(const Matrix& src, const std::vector<int>& idx, int out_rows) {
   assert(src.rows() == static_cast<int>(idx.size()));
   Matrix c(out_rows, src.cols());
+  const KernelBackend& be = backend();
+  const std::size_t n = static_cast<std::size_t>(src.cols());
   for (std::size_t i = 0; i < idx.size(); ++i) {
     assert(idx[i] >= 0 && idx[i] < out_rows);
-    const float* srow = src.row_ptr(static_cast<int>(i));
-    float* crow = c.row_ptr(idx[i]);
-    for (int j = 0; j < src.cols(); ++j) crow[j] += srow[j];
+    be.acc_n(c.row_ptr(idx[i]), src.row_ptr(static_cast<int>(i)), n);
   }
   return c;
 }
 
+// Dot-product shaped; scalar-only for the same reason as matmul_nt.
 Matrix row_dot(const Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   Matrix c(a.rows(), 1);

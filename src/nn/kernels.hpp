@@ -4,16 +4,34 @@
 // Naming: `_tn` / `_nt` suffixes mean the first / second operand is used
 // transposed, which covers every matmul the backward passes need without
 // materializing transposes.
+//
+// Backends: the inner loops dispatch at runtime between a scalar reference
+// oracle and vectorized implementations (see nn/simd/dispatch.hpp and the
+// DEEPGATE_SIMD environment variable). Thread-pool partitioning is identical
+// for every backend, and all backends are bitwise-equal to the oracle except
+// the sigmoid/tanh maps on avx2 (tested absolute-error bound).
 #pragma once
 
 #include "nn/matrix.hpp"
+#include "nn/simd/bf16.hpp"
 
 #include <vector>
 
 namespace dg::nn::kern {
 
 /// C = A(BxK) * B(KxN).
+///
+/// Zero-skip oracle property: elements of A comparing equal to 0.0f
+/// (including -0.0f) are skipped entirely — they contribute no addend, not
+/// even +0.0. Observable consequences, guaranteed across all backends:
+/// the sign of a -0.0 accumulator survives a zero A-element, and Inf/NaN in
+/// a B row multiplied only by zeros never reaches C. Applies to matmul,
+/// matmul_acc, matmul_tn, and matmul_bf16.
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A * decode(B) with B packed bf16 (exact decode, fp32 accumulation,
+/// same operation order and zero-skip as matmul). Guarantee:
+/// matmul_bf16(a, to_bf16(w)) == matmul(a, bf16_round(w)) bitwise.
+Matrix matmul_bf16(const Matrix& a, const Bf16Matrix& b);
 /// C = A^T * B  (A: KxM used as MxK).
 Matrix matmul_tn(const Matrix& a, const Matrix& b);
 /// C = A * B^T.

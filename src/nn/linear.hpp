@@ -3,7 +3,10 @@
 
 #include "nn/module.hpp"
 #include "nn/ops.hpp"
+#include "nn/simd/bf16.hpp"
 #include "util/rng.hpp"
+
+#include <memory>
 
 namespace dg::nn {
 
@@ -14,6 +17,14 @@ class Linear {
 
   /// x: N x in -> N x out.
   Tensor forward(const Tensor& x) const;
+
+  /// Round w/b to the bf16 grid in place and build the packed bf16 weight
+  /// shadow the no-grad forward path uses. Because the fp32 weights are left
+  /// exactly on the bf16 grid and matmul_bf16 decodes exactly with the same
+  /// operation order, the shadow path is bitwise-identical to the fp32 path
+  /// on the quantized weights. Stale after any subsequent weight update —
+  /// callers that mutate params (train, copy_params) must re-quantize.
+  void quantize_bf16();
 
   void collect(NamedParams& out, const std::string& prefix) const;
 
@@ -26,6 +37,7 @@ class Linear {
   bool has_bias_ = true;
   Tensor w_;  // in x out
   Tensor b_;  // 1 x out
+  std::shared_ptr<const kern::Bf16Matrix> wq_;  // packed shadow of w_ (bf16 mode)
 };
 
 }  // namespace dg::nn

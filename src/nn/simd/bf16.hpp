@@ -1,0 +1,88 @@
+// bfloat16 weight storage for the reduced-precision inference path.
+//
+// bf16 is the top 16 bits of an IEEE-754 float: same exponent range, 8-bit
+// mantissa. Weights are rounded to the bf16 grid with round-to-nearest-even
+// and stored packed (2 bytes/value); decoding is exact (a 16-bit left
+// shift), so every arithmetic contract of the fp32 kernels carries over
+// verbatim when the fp32 operand happens to lie on the bf16 grid. The
+// kernel-level guarantee the property suite enforces:
+//
+//   matmul_bf16(a, to_bf16(w)) == matmul(a, bf16_round(w))   (bitwise)
+//
+// i.e. serving from packed bf16 storage computes exactly what the fp32
+// kernels compute on the rounded weights. Accumulation is always fp32.
+#pragma once
+
+#include "nn/matrix.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace dg::nn::kern {
+
+/// Round-to-nearest-even float -> bf16. NaN payloads are squashed to a
+/// canonical quiet NaN so rounding can never turn a NaN into infinity.
+inline std::uint16_t bf16_from_float(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  if ((bits & 0x7fffffffU) > 0x7f800000U) return 0x7fc0U | static_cast<std::uint16_t>(bits >> 16 & 0x8000U);
+  const std::uint32_t rounded = bits + 0x7fffU + ((bits >> 16) & 1U);
+  return static_cast<std::uint16_t>(rounded >> 16);
+}
+
+/// Exact bf16 -> float decode (shift into the high half).
+inline float bf16_to_float(std::uint16_t v) {
+  const std::uint32_t bits = static_cast<std::uint32_t>(v) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+/// Round-trip through bf16: the nearest float on the bf16 grid.
+inline float bf16_round(float v) { return bf16_to_float(bf16_from_float(v)); }
+
+/// Dense row-major bf16 matrix — packed weight storage for inference. Mirrors
+/// the Matrix surface that the kernels need; all math stays in kernels.
+class Bf16Matrix {
+ public:
+  Bf16Matrix() = default;
+  Bf16Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  std::uint16_t* data() { return data_.data(); }
+  const std::uint16_t* data() const { return data_.data(); }
+  const std::uint16_t* row_ptr(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::uint16_t> data_;
+};
+
+/// Pack a float matrix into bf16 (round-to-nearest-even per element).
+inline Bf16Matrix to_bf16(const Matrix& m) {
+  Bf16Matrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = bf16_from_float(m.data()[i]);
+  return out;
+}
+
+/// Exact decode back to fp32.
+inline Matrix from_bf16(const Bf16Matrix& m) {
+  Matrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = bf16_to_float(m.data()[i]);
+  return out;
+}
+
+/// Round every element of `m` to the bf16 grid in place (values stay fp32).
+inline void bf16_round_inplace(Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = bf16_round(m.data()[i]);
+}
+
+}  // namespace dg::nn::kern

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Bench-trend regression gate for the harness JSON reports.
+
+Compares a current bench report (or a whole bench-trend artifact directory)
+against a baseline from a previous run, row by row, and flags throughput
+regressions beyond a threshold. Used by the CI bench-compare step: the
+baseline is the bench-trend artifact of the previous successful run on main.
+
+    bench_compare.py --baseline PATH --current PATH \
+        [--metric nodes_per_sec] [--threshold 0.15] [--strict]
+
+PATH is either a single harness JSON file ({"bench", "scale", "seed",
+"results": [...]}) or a directory; directories are matched by relative
+BENCH_*.json path (the bench-trend layout: <config>/BENCH_<bench>.json).
+
+Rows are keyed by their "mode" field and compared on --metric
+(higher-is-better; rows missing the key or the metric are skipped). A row
+regresses when current < baseline * (1 - threshold).
+
+Exit codes: 1 when --strict and at least one row regressed; 0 otherwise —
+including when the baseline path is missing entirely (first run on a branch,
+expired artifact), which only warns: a trend gate must not fail the lane
+that creates the first data point.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench-compare: ERROR: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def warn(msg: str) -> None:
+    print(f"bench-compare: WARNING: {msg}")
+
+
+def load_report(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        warn(f"unreadable report {path}: {e}")
+        return None
+    if not isinstance(doc, dict) or not isinstance(doc.get("results"), list):
+        warn(f"{path}: not a harness report (missing results[]); skipped")
+        return None
+    return doc
+
+
+def rows_by_mode(doc):
+    out = {}
+    for row in doc["results"]:
+        mode = row.get("mode")
+        if isinstance(mode, str) and mode not in out:  # first wins on dup
+            out[mode] = row
+    return out
+
+
+def find_reports(root: str):
+    """Relative path -> absolute path for every BENCH_*.json under root."""
+    if os.path.isfile(root):
+        return {os.path.basename(root): root}
+    found = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for name in sorted(files):
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                full = os.path.join(dirpath, name)
+                found[os.path.relpath(full, root)] = full
+    return found
+
+
+def compare_report(rel, base_doc, cur_doc, metric, threshold):
+    """Returns list of (mode, base, cur, ratio) regressions; prints each row."""
+    regressions = []
+    base_rows = rows_by_mode(base_doc)
+    cur_rows = rows_by_mode(cur_doc)
+    if base_doc.get("scale") != cur_doc.get("scale"):
+        warn(f"{rel}: scale changed ({base_doc.get('scale')} -> "
+             f"{cur_doc.get('scale')}); comparison skipped")
+        return regressions
+    for mode in cur_rows:
+        if mode not in base_rows:
+            print(f"  {rel} [{mode}]: new mode (no baseline row)")
+            continue
+        base = base_rows[mode].get(metric)
+        cur = cur_rows[mode].get(metric)
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            continue
+        if base <= 0:
+            continue
+        ratio = cur / base
+        status = "ok"
+        if cur < base * (1.0 - threshold):
+            status = "REGRESSION"
+            regressions.append((f"{rel} [{mode}]", base, cur, ratio))
+        print(f"  {rel} [{mode}]: {metric} {base:.1f} -> {cur:.1f} "
+              f"({ratio:.1%} of baseline) {status}")
+    for mode in base_rows:
+        if mode not in cur_rows:
+            warn(f"{rel} [{mode}]: present in baseline but missing from current run")
+    return regressions
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--baseline", required=True,
+                   help="baseline harness JSON file or bench-trend directory")
+    p.add_argument("--current", required=True,
+                   help="current harness JSON file or bench-trend directory")
+    p.add_argument("--metric", default="nodes_per_sec",
+                   help="higher-is-better row metric to compare (default: %(default)s)")
+    p.add_argument("--threshold", type=float, default=0.15,
+                   help="allowed fractional drop before a row regresses "
+                        "(default: %(default)s)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on regression (default: warn only)")
+    args = p.parse_args()
+
+    if not os.path.exists(args.current):
+        fail(f"current path does not exist: {args.current}")
+    if not os.path.exists(args.baseline):
+        # First run / expired artifact: nothing to gate against yet.
+        warn(f"no baseline at {args.baseline}; skipping comparison "
+             "(this run becomes the baseline)")
+        return 0
+
+    base_reports = find_reports(args.baseline)
+    cur_reports = find_reports(args.current)
+    if not base_reports:
+        warn(f"no BENCH_*.json under {args.baseline}; skipping comparison")
+        return 0
+    if not cur_reports:
+        fail(f"no BENCH_*.json under {args.current}")
+
+    # Single-file vs single-file: compare regardless of basename mismatch.
+    if len(base_reports) == 1 and len(cur_reports) == 1 and (
+            os.path.isfile(args.baseline) and os.path.isfile(args.current)):
+        base_reports = {"report": next(iter(base_reports.values()))}
+        cur_reports = {"report": next(iter(cur_reports.values()))}
+
+    regressions = []
+    compared = 0
+    for rel, cur_path in sorted(cur_reports.items()):
+        if rel not in base_reports:
+            print(f"  {rel}: new report (no baseline file)")
+            continue
+        base_doc = load_report(base_reports[rel])
+        cur_doc = load_report(cur_path)
+        if base_doc is None or cur_doc is None:
+            continue
+        compared += 1
+        regressions += compare_report(rel, base_doc, cur_doc,
+                                      args.metric, args.threshold)
+
+    if compared == 0:
+        warn("no comparable reports between baseline and current; nothing gated")
+        return 0
+    if regressions:
+        for name, base, cur, ratio in regressions:
+            warn(f"{name}: {args.metric} regressed {base:.1f} -> {cur:.1f} "
+                 f"({ratio:.1%} of baseline, threshold "
+                 f"{1.0 - args.threshold:.0%})")
+        if args.strict:
+            print(f"bench-compare: FAIL: {len(regressions)} regression(s) "
+                  f"beyond {args.threshold:.0%}", file=sys.stderr)
+            return 1
+        warn(f"{len(regressions)} regression(s) beyond {args.threshold:.0%} "
+             "(non-strict: not failing)")
+        return 0
+    print(f"bench-compare: OK: {compared} report(s), no regression beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
