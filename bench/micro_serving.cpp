@@ -18,6 +18,7 @@
 #include "core/batch_runner.hpp"
 #include "core/deepgate.hpp"
 #include "data/generators_large.hpp"
+#include "nn/arena.hpp"
 #include "nn/simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -209,6 +210,9 @@ int main(int argc, char** argv) {
   // The serving-relevant configuration (the issue's acceptance metric):
   // node-budgeted merged batches served serially at 1 pool thread, so the
   // per-path rows isolate raw kernel throughput from pool scaling, and the
+  // denominator is the scalar backend with the forward arena disabled (the
+  // pre-PR 7 oracle). The per-level rows run with the arena in its default
+  // state, so speedup_vs_scalar captures kernels AND allocation reuse; the
   // level batches are large enough that the float kernels dominate (the
   // single-graph loop dilutes them with per-call tape/merge overhead). The
   // speedup target lives in the JSON (speedup_vs_scalar); CI gates on the
@@ -218,7 +222,23 @@ int main(int argc, char** argv) {
     using nn::kern::SimdLevel;
     namespace simd = nn::kern::simd;
     util::set_global_threads(1);
+    // Oracle row: scalar backend with the forward arena OFF — the exact
+    // pre-arena configuration every speedup_vs_scalar is measured against.
+    const bool arena_was = nn::arena_enabled();
+    nn::arena_set_enabled(false);
+    std::vector<std::vector<float>> scalar_noarena;
     double scalar_secs = 0.0;
+    {
+      const SimdLevel prev = simd::set_level(SimdLevel::kScalar);
+      scalar_secs =
+          time_best_of(wl.reps, [&] { scalar_noarena = serial_runner.predict(ptrs); });
+      simd::set_level(prev);
+    }
+    nn::arena_set_enabled(arena_was);
+    record("kernels_scalar_noarena", 1, serial_opts.node_budget, scalar_secs);
+    records.back().num("speedup_vs_scalar", 1.0);
+    records.back().num("arena", 0.0);
+
     double best_level_secs = 0.0;
     for (const SimdLevel l : {SimdLevel::kScalar, SimdLevel::kGeneric, SimdLevel::kAvx2}) {
       if (!simd::available(l)) continue;
@@ -226,10 +246,18 @@ int main(int argc, char** argv) {
       std::vector<std::vector<float>> out;
       const double secs = time_best_of(wl.reps, [&] { out = serial_runner.predict(ptrs); });
       simd::set_level(prev);
-      if (l == SimdLevel::kScalar) scalar_secs = secs;
       if (l == simd::best_available()) best_level_secs = secs;
+      // The arena moves buffers, never bits: scalar with the arena on must
+      // equal the arena-off oracle EXACTLY.
+      if (l == SimdLevel::kScalar && nn::arena_enabled())
+        for (std::size_t i = 0; i < scalar_noarena.size(); ++i)
+          if (out[i] != scalar_noarena[i]) {
+            std::fprintf(stderr, "FAIL: scalar backend with arena on is not bitwise "
+                                 "identical to arena off (graph %zu)\n", i);
+            return 1;
+          }
       // All backends must reproduce the reference predictions (bitwise for
-      // scalar/generic; avx2's polynomial sigmoid/tanh within its bound).
+      // scalar/generic; avx2's polynomial transcendentals within their bound).
       for (std::size_t i = 0; i < reference.size(); ++i)
         for (std::size_t v = 0; v < reference[i].size(); ++v)
           if (std::abs(out[i][v] - reference[i][v]) > 1e-4F) {
@@ -240,6 +268,7 @@ int main(int argc, char** argv) {
       const std::string mode = std::string("kernels_") + simd::level_name(l);
       record(mode.c_str(), 1, serial_opts.node_budget, secs);
       records.back().num("speedup_vs_scalar", scalar_secs / secs);
+      records.back().num("arena", nn::arena_enabled() ? 1.0 : 0.0);
     }
 
     // bf16 weights at the best backend: throughput plus the accuracy cost.
@@ -262,11 +291,12 @@ int main(int argc, char** argv) {
     record("kernels_bf16", 1, serial_opts.node_budget, bf16_secs);
     records.back().num("speedup_vs_scalar", scalar_secs / bf16_secs);
     records.back().num("max_abs_delta_vs_fp32", max_delta);
+    records.back().num("arena", nn::arena_enabled() ? 1.0 : 0.0);
     util::set_global_threads(util::default_num_threads());
 
     std::printf("\n%s\n", table.render().c_str());
-    std::printf("kernel dispatch: best=%s %.2fx over scalar single-core; bf16 max |delta| "
-                "%.2e vs fp32\n\n",
+    std::printf("kernel dispatch: best=%s %.2fx over the scalar no-arena oracle "
+                "single-core; bf16 max |delta| %.2e vs fp32\n\n",
                 simd::level_name(simd::best_available()),
                 best_level_secs > 0.0 ? scalar_secs / best_level_secs : 0.0, max_delta);
   }

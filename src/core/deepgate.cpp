@@ -3,6 +3,7 @@
 #include "aig/gate_graph.hpp"
 #include "util/log.hpp"
 #include "netlist/to_aig.hpp"
+#include "nn/arena.hpp"
 #include "nn/serialize.hpp"
 #include "sim/probability.hpp"
 #include "synth/optimize.hpp"
@@ -74,15 +75,23 @@ double Engine::evaluate(const std::vector<CircuitGraph>& test_set,
 
 std::vector<float> Engine::predict_probabilities(const CircuitGraph& g) const {
   dg::nn::NoGradGuard no_grad;
-  const dg::nn::Tensor pred = model_->predict(g);
   std::vector<float> out(static_cast<std::size_t>(g.num_nodes));
+  dg::nn::ArenaScope arena;  // level states / scratch recycle across calls
+  const dg::nn::Tensor pred = model_->predict(g);
   for (int v = 0; v < g.num_nodes; ++v) out[static_cast<std::size_t>(v)] = pred.value().at(v, 0);
   return out;
 }
 
 dg::nn::Matrix Engine::embeddings(const CircuitGraph& g) const {
   dg::nn::NoGradGuard no_grad;
-  return model_->embed(g).value();
+  dg::nn::Tensor emb;
+  {
+    dg::nn::ArenaScope arena;
+    emb = model_->embed(g);
+  }
+  // Copy outside the scope: the caller keeps the result indefinitely, so it
+  // must be plain heap, not a buffer drained from the lane's arena.
+  return emb.value();
 }
 
 namespace {
@@ -112,7 +121,12 @@ std::vector<std::vector<float>> Engine::predict_batch(
   if (live.empty()) return out;
   dg::nn::NoGradGuard no_grad;
   const CircuitGraph merged = CircuitGraph::merge(live);
-  const dg::nn::Matrix pred = model_->predict(merged).value();
+  dg::nn::Tensor pred_t;
+  {
+    dg::nn::ArenaScope arena;
+    pred_t = model_->predict(merged);
+  }
+  const dg::nn::Matrix& pred = pred_t.value();
   for (std::size_t i = 0; i < live.size(); ++i) {
     const dg::gnn::GraphMember& m = merged.members[i];
     auto& slot = out[index[i]];
@@ -130,7 +144,12 @@ std::vector<dg::nn::Matrix> Engine::embeddings_batch(
   if (live.empty()) return out;
   dg::nn::NoGradGuard no_grad;
   const CircuitGraph merged = CircuitGraph::merge(live);
-  const dg::nn::Matrix emb = model_->embed(merged).value();
+  dg::nn::Tensor emb_t;
+  {
+    dg::nn::ArenaScope arena;
+    emb_t = model_->embed(merged);
+  }
+  const dg::nn::Matrix& emb = emb_t.value();  // member copies below stay heap
   for (std::size_t i = 0; i < live.size(); ++i)
     out[index[i]] = dg::gnn::member_rows(emb, merged.members[i]);
   return out;
@@ -144,7 +163,11 @@ BatchInference Engine::infer_batch(const std::vector<const CircuitGraph*>& batch
   if (live.empty()) return out;
   dg::nn::NoGradGuard no_grad;
   const CircuitGraph merged = CircuitGraph::merge(live);
-  const dg::gnn::ForwardOutputs fused = model_->forward_outputs(merged);
+  dg::gnn::ForwardOutputs fused;
+  {
+    dg::nn::ArenaScope arena;
+    fused = model_->forward_outputs(merged);
+  }
   const dg::nn::Matrix& pred = fused.prediction.value();
   const dg::nn::Matrix& emb = fused.embedding.value();
   for (std::size_t i = 0; i < live.size(); ++i) {

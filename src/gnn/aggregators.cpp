@@ -1,5 +1,6 @@
 #include "gnn/aggregators.hpp"
 
+#include "nn/kernels.hpp"
 #include "nn/ops.hpp"
 
 namespace dg::gnn {
@@ -101,13 +102,44 @@ class AttentionAggregator final : public Aggregator {
         pe_(pe_dim, 1, rng, /*bias=*/false) {}
 
   Tensor forward(const Tensor& h_src, const Tensor& h_query, const std::vector<int>& seg,
-                 int num_dst, const Tensor& /*inv_deg*/, const Tensor& pe) const override {
+                 int num_dst, const Tensor& /*inv_deg*/, const Tensor& pe_term) const override {
+    const bool has_pe = pe_term.defined() && pe_term.rows() > 0;
+    if (!nn::grad_enabled()) {
+      // Fused inference path. Bitwise-identical to the op composition below:
+      // matvec == matmul at n == 1, the scalar bias add is the same single
+      // addition add_rowvec performs at out_features == 1, the combine loop
+      // keeps the (q + key) + pe association of the two adds, and the fused
+      // scatter keeps scale-then-add rounding per row in ascending order.
+      const nn::Matrix& hq = h_query.value();
+      nn::Matrix q = nn::kern::matvec(hq, query_.weight().value());  // B x 1
+      if (query_.has_bias()) {
+        const float b0 = query_.bias().value().at(0, 0);
+        for (int i = 0; i < q.rows(); ++i) q.data()[i] += b0;
+      }
+      const nn::Matrix key = nn::kern::matvec(h_src.value(), key_.weight().value());
+      const int num_edges = static_cast<int>(seg.size());
+      nn::Matrix scores(num_edges, 1);
+      const float* pv = has_pe ? pe_term.value().data() : nullptr;
+      for (int i = 0; i < num_edges; ++i) {
+        float v = q.data()[seg[i]] + key.data()[i];
+        if (pv != nullptr) v += pv[i];
+        scores.data()[i] = v;
+      }
+      const nn::Matrix alpha = nn::kern::softmax_segments(scores, seg, num_dst);
+      return nn::constant(
+          nn::kern::scale_rows_scatter_add(h_src.value(), alpha, seg, num_dst));
+    }
     const Tensor q = query_.forward(h_query);       // B x 1
     const Tensor q_edges = nn::gather_rows(q, seg);  // E x 1
     Tensor scores = nn::add(q_edges, key_.forward(h_src));
-    if (pe.defined() && pe.rows() > 0) scores = nn::add(scores, pe_.forward(pe));
+    if (has_pe) scores = nn::add(scores, pe_term);
     const Tensor alpha = nn::softmax_segments(scores, seg, num_dst);
     return nn::scatter_add_rows(nn::scale_rows(h_src, alpha), seg, num_dst);
+  }
+
+  Tensor project_pe(const Tensor& pe) const override {
+    if (!pe.defined() || pe.rows() == 0) return {};
+    return pe_.forward(pe);
   }
 
   void collect(nn::NamedParams& out, const std::string& prefix) const override {

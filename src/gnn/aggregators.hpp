@@ -28,11 +28,23 @@ class Aggregator {
   virtual ~Aggregator() = default;
 
   /// Returns B x d aggregated messages. `inv_deg` (B x 1 constant) provides
-  /// mean normalization for the sum-family aggregators. `pe` may be
-  /// undefined (no skip edges in the batch).
+  /// mean normalization for the sum-family aggregators. `pe_term` is the
+  /// output of project_pe() on the batch's per-edge encodings and may be
+  /// undefined (no skip edges in the batch, or an aggregator that ignores
+  /// them).
   virtual nn::Tensor forward(const nn::Tensor& h_src, const nn::Tensor& h_query,
                              const std::vector<int>& seg, int num_dst,
-                             const nn::Tensor& inv_deg, const nn::Tensor& pe) const = 0;
+                             const nn::Tensor& inv_deg, const nn::Tensor& pe_term) const = 0;
+
+  /// Project per-edge positional encodings (E x 2L) into the per-edge score
+  /// contribution forward() consumes (E x 1). Hoisted out of forward() so
+  /// recurrent models can compute it once per graph instead of once per
+  /// sweep — the encodings are constant across iterations. Aggregators that
+  /// ignore pe return an undefined Tensor.
+  virtual nn::Tensor project_pe(const nn::Tensor& pe) const {
+    (void)pe;
+    return {};
+  }
 
   virtual void collect(nn::NamedParams& out, const std::string& prefix) const = 0;
 

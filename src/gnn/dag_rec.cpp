@@ -54,14 +54,18 @@ class RecurrentDagModel final : public Model {
   Tensor embed_iterations(const CircuitGraph& g, int iterations) const {
     auto states = init_level_states(g, cfg_.dim, cfg_.random_h0, cfg_.seed);
     const auto x_lvl = level_onehot(g);
+    // Per-graph constants (pe projection, inv_deg) are identical across the T
+    // sweeps; the scratch lets each directional layer compute them once.
+    DirectedLayer::Scratch fwd_scratch;
+    DirectedLayer::Scratch rev_scratch;
     for (int t = 0; t < iterations; ++t) {
       {
         const std::vector<Tensor> queries = states;
-        fwd_->run(g, states, queries, x_lvl);
+        fwd_->run(g, states, queries, x_lvl, &fwd_scratch);
       }
       if (rev_) {
         const std::vector<Tensor> queries = states;
-        rev_->run(g, states, queries, x_lvl);
+        rev_->run(g, states, queries, x_lvl, &rev_scratch);
       }
     }
     return full_from_levels(states, g);

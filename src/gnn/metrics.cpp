@@ -1,6 +1,7 @@
 #include "gnn/metrics.hpp"
 
 #include "gnn/merge_cache.hpp"
+#include "nn/arena.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
@@ -67,10 +68,17 @@ std::size_t run_forward_batched(const std::vector<const CircuitGraph*>& graphs,
   if (live.empty()) return 0;
   const auto plan = plan_node_batches(live, opts.node_budget, opts.max_graphs);
 
+  // Forwards run inside a lane-local ArenaScope so their level states and
+  // scratch recycle batch to batch; the scatter copies run OUTSIDE the scope
+  // so caller-facing rows are plain heap, not drained from the lane's arena.
   const auto run_batch = [&](std::size_t b) {
     const auto [begin, end] = plan[b];
     if (end - begin == 1) {
-      const R out = forward(*live[begin]);
+      R out;
+      {
+        nn::ArenaScope arena;
+        out = forward(*live[begin]);
+      }
       scatter(live_index[begin], out, nullptr);
       return;
     }
@@ -83,7 +91,11 @@ std::size_t run_forward_batched(const std::vector<const CircuitGraph*>& graphs,
         opts.merge_cache != nullptr
             ? opts.merge_cache->merged(parts)
             : std::make_shared<const CircuitGraph>(CircuitGraph::merge(parts));
-    const R out = forward(*merged);  // keeps the value matrices alive below
+    R out;  // keeps the value matrices alive for the scatters below
+    {
+      nn::ArenaScope arena;
+      out = forward(*merged);
+    }
     for (std::size_t i = begin; i < end; ++i)
       scatter(live_index[i], out, &merged->members[i - begin]);
   };

@@ -224,20 +224,43 @@ DirectedLayer::DirectedLayer(const ModelConfig& cfg, bool reversed, util::Rng& r
 
 void DirectedLayer::run(const CircuitGraph& g, std::vector<Tensor>& states,
                         const std::vector<Tensor>& queries,
-                        const std::vector<Tensor>& x_lvl) const {
+                        const std::vector<Tensor>& x_lvl, Scratch* scratch) const {
+  const bool memo = scratch != nullptr && !nn::grad_enabled();
+  if (memo && scratch->pe_term.size() != static_cast<std::size_t>(g.num_levels)) {
+    scratch->pe_term.assign(static_cast<std::size_t>(g.num_levels), Tensor());
+    scratch->pe_valid.assign(static_cast<std::size_t>(g.num_levels), 0);
+    scratch->inv_deg.assign(static_cast<std::size_t>(g.num_levels), Tensor());
+  }
   const auto process_level = [&](int L) {
     const LevelBatch& batch = reversed_ ? g.rev[static_cast<std::size_t>(L)]
                               : use_skip_ ? g.fwd_skip[static_cast<std::size_t>(L)]
                                           : g.fwd[static_cast<std::size_t>(L)];
     if (batch.empty()) return;
-    const int num_dst = static_cast<int>(g.nodes_at_level[static_cast<std::size_t>(L)].size());
+    const std::size_t lvl = static_cast<std::size_t>(L);
+    const int num_dst = static_cast<int>(g.nodes_at_level[lvl].size());
     const Tensor h_src = gather_batch_sources(states, batch);
-    Tensor pe;
-    if (batch.pe.rows() > 0) pe = nn::constant(batch.pe);
-    const Tensor inv_deg = nn::constant(
-        nn::Matrix::from_vector(num_dst, 1, std::vector<float>(batch.inv_deg)));
+    Tensor pe_term;
+    if (memo && scratch->pe_valid[lvl] != 0) {
+      pe_term = scratch->pe_term[lvl];
+    } else if (batch.pe.rows() > 0) {
+      pe_term = agg_->project_pe(nn::constant(batch.pe));
+      if (memo) {
+        scratch->pe_term[lvl] = pe_term;
+        scratch->pe_valid[lvl] = 1;
+      }
+    } else if (memo) {
+      scratch->pe_valid[lvl] = 1;  // no skip edges at this level: stays undefined
+    }
+    Tensor inv_deg;
+    if (memo && scratch->inv_deg[lvl].defined()) {
+      inv_deg = scratch->inv_deg[lvl];
+    } else {
+      inv_deg = nn::constant(
+          nn::Matrix::from_vector(num_dst, 1, std::vector<float>(batch.inv_deg)));
+      if (memo) scratch->inv_deg[lvl] = inv_deg;
+    }
     const Tensor m = agg_->forward(h_src, queries[static_cast<std::size_t>(L)], batch.seg,
-                                   num_dst, inv_deg, pe);
+                                   num_dst, inv_deg, pe_term);
     const Tensor input = refeed_ ? nn::concat_cols(m, x_lvl[static_cast<std::size_t>(L)]) : m;
     const Tensor updated = gru_.forward(input, states[static_cast<std::size_t>(L)]);
     if (!batch.masked()) {

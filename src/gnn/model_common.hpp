@@ -155,10 +155,25 @@ class DirectedLayer {
  public:
   DirectedLayer(const ModelConfig& cfg, bool reversed, util::Rng& rng);
 
+  /// Per-graph memo reused across repeated run() calls on the SAME graph —
+  /// the recurrent models' T sweeps. Caches level constants that cannot
+  /// change between sweeps: the aggregator's pe projection (the encodings of
+  /// Eq. (7) are pure graph structure) and the inv_deg constant. Consulted
+  /// only on the no-grad path; when gradients are recorded every sweep tapes
+  /// its own nodes, keeping training bitwise-untouched.
+  struct Scratch {
+    std::vector<nn::Tensor> pe_term;      ///< project_pe output per level
+    std::vector<unsigned char> pe_valid;  ///< pe_term[L] computed (may be undefined)
+    std::vector<nn::Tensor> inv_deg;      ///< constant per level
+  };
+
   /// `states` is updated level by level; `queries` supplies h^{t-1} for the
   /// attention aggregator; `x_lvl` supplies the refed gate-type features.
+  /// `scratch`, when given, must be used with one graph only and carries the
+  /// per-level constants across sweeps.
   void run(const CircuitGraph& g, std::vector<nn::Tensor>& states,
-           const std::vector<nn::Tensor>& queries, const std::vector<nn::Tensor>& x_lvl) const;
+           const std::vector<nn::Tensor>& queries, const std::vector<nn::Tensor>& x_lvl,
+           Scratch* scratch = nullptr) const;
 
   void collect(nn::NamedParams& out, const std::string& prefix) const;
 

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 
 namespace dg::nn::kern {
 namespace {
@@ -52,6 +53,10 @@ void for_elem_blocks(std::size_t n, const Body& body) {
 // the independent j elements.
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
+  // n == 1 (attention scores, regressor output layers): the j-blocked inner
+  // loop has nothing to vectorize; matvec is bitwise-identical and
+  // vectorizes across rows instead.
+  if (b.cols() == 1) return matvec(a, b);
   Matrix c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   const KernelBackend& be = backend();
@@ -115,6 +120,17 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
         crow[j] += acc;
       }
     }
+  });
+  return c;
+}
+
+Matrix matvec(const Matrix& a, const Matrix& w) {
+  assert(a.cols() == w.rows() && w.cols() == 1);
+  Matrix c(a.rows(), 1);
+  const int k = a.cols();
+  const KernelBackend& be = backend();
+  for_row_blocks(a.rows(), k, [&](int i0, int i1) {
+    be.matvec_rows(c.data(), a.data(), w.data(), i0, i1, k);
   });
   return c;
 }
@@ -218,6 +234,17 @@ Matrix tanh_m(const Matrix& a) {
   return c;
 }
 
+Matrix exp_m(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  const KernelBackend& be = backend();
+  util::parallel_for(0, static_cast<std::int64_t>(a.size()), kElemGrain / 8,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       be.exp_n(c.data() + i0, a.data() + i0,
+                                static_cast<std::size_t>(i1 - i0));
+                     });
+  return c;
+}
+
 Matrix relu(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
   const KernelBackend& be = backend();
@@ -292,6 +319,46 @@ Matrix scatter_add_rows(const Matrix& src, const std::vector<int>& idx, int out_
   for (std::size_t i = 0; i < idx.size(); ++i) {
     assert(idx[i] >= 0 && idx[i] < out_rows);
     be.acc_n(c.row_ptr(idx[i]), src.row_ptr(static_cast<int>(i)), n);
+  }
+  return c;
+}
+
+Matrix softmax_segments(const Matrix& s, const std::vector<int>& segment, int num_segments) {
+  assert(s.cols() == 1 && s.rows() == static_cast<int>(segment.size()));
+  const int rows = s.rows();
+  Matrix out(rows, 1);
+  // Matrix scratch (not std::vector) so the per-segment reductions come from
+  // the arena on the no-grad path instead of fresh heap allocations.
+  Matrix seg_max(num_segments, 1, -std::numeric_limits<float>::infinity());
+  Matrix seg_sum(num_segments, 1, 0.0F);
+  const float* sv = s.data();
+  float* mx = seg_max.data();
+  float* sum = seg_sum.data();
+  float* ov = out.data();
+  for (int i = 0; i < rows; ++i) mx[segment[i]] = std::max(mx[segment[i]], sv[i]);
+  for (int i = 0; i < rows; ++i) ov[i] = sv[i] - mx[segment[i]];
+  const KernelBackend& be = backend();
+  util::parallel_for(0, rows, kElemGrain / 8, [&](std::int64_t i0, std::int64_t i1) {
+    be.exp_n(ov + i0, ov + i0, static_cast<std::size_t>(i1 - i0));
+  });
+  // Sum and normalize in ascending i: identical per-segment accumulation
+  // order to the original fused exp loop, so scalar results are bitwise.
+  for (int i = 0; i < rows; ++i) sum[segment[i]] += ov[i];
+  for (int i = 0; i < rows; ++i) ov[i] /= sum[segment[i]];
+  return out;
+}
+
+Matrix scale_rows_scatter_add(const Matrix& src, const Matrix& alpha,
+                              const std::vector<int>& idx, int out_rows) {
+  assert(src.rows() == static_cast<int>(idx.size()));
+  assert(alpha.rows() == src.rows() && alpha.cols() == 1);
+  Matrix c(out_rows, src.cols());
+  const KernelBackend& be = backend();
+  const std::size_t n = static_cast<std::size_t>(src.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    assert(idx[i] >= 0 && idx[i] < out_rows);
+    be.axpy_n(c.row_ptr(idx[i]), alpha.at(static_cast<int>(i), 0),
+              src.row_ptr(static_cast<int>(i)), n);
   }
   return c;
 }

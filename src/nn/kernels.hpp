@@ -39,6 +39,13 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b);
 /// C += A * B (accumulating variant for gradient fan-in).
 void matmul_acc(Matrix& c, const Matrix& a, const Matrix& b);
 
+/// out (Nx1) = A (NxK) * w (Kx1): the n == 1 matmul special case, bitwise
+/// identical to matmul(a, w) on every backend (same zero-skip, same
+/// k-ascending accumulation) but dispatched to a kernel that vectorizes
+/// across rows — the j-blocked matmuls have nothing to vectorize at n == 1.
+/// Serves the attention aggregator's thin Ex1 score projections.
+Matrix matvec(const Matrix& a, const Matrix& w);
+
 Matrix add(const Matrix& a, const Matrix& b);
 Matrix sub(const Matrix& a, const Matrix& b);
 Matrix mul(const Matrix& a, const Matrix& b);
@@ -56,6 +63,9 @@ void axpy(Matrix& a, float alpha, const Matrix& b);
 Matrix sigmoid(const Matrix& a);
 Matrix tanh_m(const Matrix& a);
 Matrix relu(const Matrix& a);
+/// Elementwise exp. Scalar/generic are libm bitwise; avx2 uses the shared
+/// polynomial exp (same tested bound and position-invariance as sigmoid).
+Matrix exp_m(const Matrix& a);
 
 /// Column vector (Nx1) with the sum of each row.
 Matrix row_sum(const Matrix& a);
@@ -73,5 +83,22 @@ Matrix scatter_add_rows(const Matrix& src, const std::vector<int>& idx, int out_
 
 /// Per-row dot products of equally-shaped matrices -> Nx1.
 Matrix row_dot(const Matrix& a, const Matrix& b);
+
+/// Eager per-segment softmax over a column of scores (Ex1); segment[i]
+/// names the destination group of row i. On the scalar backend the result
+/// is bitwise-identical to the original fused exp loop in nn/ops.cpp
+/// (identical values, identical per-segment accumulation order); the exp
+/// itself goes through the dispatched exp_n so avx2 vectorizes it within
+/// the documented transcendental bound. Segments with no rows are allowed
+/// and simply produce no output rows.
+Matrix softmax_segments(const Matrix& s, const std::vector<int>& segment, int num_segments);
+
+/// Fused scale_rows + scatter_add_rows: out[idx[i]] += alpha[i] * src[i],
+/// rows processed in ascending i. Bitwise identical to the two-kernel
+/// composition on every backend (axpy_n keeps the same mul-then-add
+/// roundings as scale_n followed by acc_n) without materializing the ExC
+/// scaled intermediate.
+Matrix scale_rows_scatter_add(const Matrix& src, const Matrix& alpha,
+                              const std::vector<int>& idx, int out_rows);
 
 }  // namespace dg::nn::kern

@@ -31,6 +31,14 @@ class Linear {
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
+  /// Raw parameter access for fused no-grad kernels (the attention
+  /// aggregator's thin Ex1 projections). Safe to combine with bf16 mode:
+  /// quantize_bf16 leaves the fp32 weights exactly on the bf16 grid, so a
+  /// kernel reading them is bitwise-identical to the packed shadow path.
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
+  bool has_bias() const { return has_bias_; }
+
  private:
   int in_ = 0;
   int out_ = 0;

@@ -1,15 +1,11 @@
 #include "nn/matrix.hpp"
 
-#include <utility>
-
 namespace dg::nn {
 
 Matrix Matrix::from_vector(int rows, int cols, std::vector<float> values) {
   assert(values.size() == static_cast<std::size_t>(rows) * cols);
-  Matrix m;
-  m.rows_ = rows;
-  m.cols_ = cols;
-  m.data_ = std::move(values);
+  Matrix m(rows, cols);
+  if (!values.empty()) std::memcpy(m.data_, values.data(), values.size() * sizeof(float));
   return m;
 }
 

@@ -2,10 +2,20 @@
 // tensor library. Deliberately minimal: shape + contiguous buffer + bounds
 // assertions. All math lives in kernels.hpp so the hot loops stay in one
 // translation unit.
+//
+// Storage comes from nn/arena.hpp: inside an ArenaScope (no-grad forwards)
+// buffers are recycled from the thread's pool; outside a scope they are
+// plain heap allocations. Either way the buffer carries its ownership in a
+// header, so matrices can move freely across scopes and threads.
 #pragma once
 
+#include "nn/arena.hpp"
+
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
+#include <utility>
 #include <vector>
 
 namespace dg::nn {
@@ -14,9 +24,53 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(int rows, int cols, float fill = 0.0F)
-      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+      : rows_(rows), cols_(cols), size_(static_cast<std::size_t>(rows) * cols) {
     assert(rows >= 0 && cols >= 0);
+    data_ = detail::arena_acquire_floats(size_);
+    std::fill_n(data_, size_, fill);
   }
+
+  Matrix(const Matrix& o) : rows_(o.rows_), cols_(o.cols_), size_(o.size_) {
+    data_ = detail::arena_acquire_floats(size_);
+    if (size_ != 0) std::memcpy(data_, o.data_, size_ * sizeof(float));
+  }
+
+  Matrix(Matrix&& o) noexcept
+      : rows_(o.rows_), cols_(o.cols_), size_(o.size_), data_(o.data_) {
+    o.rows_ = 0;
+    o.cols_ = 0;
+    o.size_ = 0;
+    o.data_ = nullptr;
+  }
+
+  Matrix& operator=(const Matrix& o) {
+    if (this == &o) return *this;
+    if (size_ != o.size_) {
+      detail::arena_release(data_);
+      size_ = o.size_;
+      data_ = detail::arena_acquire_floats(size_);
+    }
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    if (size_ != 0) std::memcpy(data_, o.data_, size_ * sizeof(float));
+    return *this;
+  }
+
+  Matrix& operator=(Matrix&& o) noexcept {
+    if (this == &o) return *this;
+    detail::arena_release(data_);
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    size_ = o.size_;
+    data_ = o.data_;
+    o.rows_ = 0;
+    o.cols_ = 0;
+    o.size_ = 0;
+    o.data_ = nullptr;
+    return *this;
+  }
+
+  ~Matrix() { detail::arena_release(data_); }
 
   static Matrix zeros(int rows, int cols) { return Matrix(rows, cols, 0.0F); }
   static Matrix full(int rows, int cols, float v) { return Matrix(rows, cols, v); }
@@ -24,8 +78,8 @@ class Matrix {
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
   bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
 
   float& at(int r, int c) {
@@ -37,25 +91,32 @@ class Matrix {
     return data_[static_cast<std::size_t>(r) * cols_ + c];
   }
 
-  float* row_ptr(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
-  const float* row_ptr(int r) const { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  float* row_ptr(int r) { return data_ + static_cast<std::size_t>(r) * cols_; }
+  const float* row_ptr(int r) const { return data_ + static_cast<std::size_t>(r) * cols_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
-  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void fill(float v) { std::fill_n(data_, size_, v); }
 
-  /// Reset to rows x cols of zeros (reusing storage where possible).
+  /// Reset to rows x cols of zeros (reusing storage when the size matches).
   void resize_zero(int rows, int cols) {
+    const std::size_t n = static_cast<std::size_t>(rows) * cols;
+    if (n != size_) {
+      detail::arena_release(data_);
+      size_ = n;
+      data_ = detail::arena_acquire_floats(n);
+    }
     rows_ = rows;
     cols_ = cols;
-    data_.assign(static_cast<std::size_t>(rows) * cols, 0.0F);
+    std::fill_n(data_, n, 0.0F);
   }
 
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  std::size_t size_ = 0;
+  float* data_ = nullptr;
 };
 
 }  // namespace dg::nn

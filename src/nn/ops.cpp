@@ -19,10 +19,19 @@ void accum_parent(TapeNode& self, std::size_t i, const Matrix& d) {
 
 }  // namespace
 
+// Every op takes the same shape: compute the value eagerly, then — only when
+// gradients are being recorded — build the parents vector and backward
+// closure. The early `constant` return is not just clarity: constructing the
+// {a, b} initializer-list vector and the std::function at the Tensor::make
+// call site heap-allocates even when make would immediately discard both,
+// and on the no-grad serving path those per-op allocations dominated the
+// per-level cost (see nn/arena.hpp).
+
 Tensor constant(Matrix m) { return Tensor::leaf(std::move(m), false); }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   Matrix out = kern::matmul(a.value(), b.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
     const Matrix& g = self.grad;
     accum_parent(self, 0, kern::matmul_nt(g, self.parents[1]->value));
@@ -32,6 +41,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   Matrix out = kern::add(a.value(), b.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
     accum_parent(self, 0, self.grad);
     accum_parent(self, 1, self.grad);
@@ -40,6 +50,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   Matrix out = kern::sub(a.value(), b.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
     accum_parent(self, 0, self.grad);
     accum_parent(self, 1, kern::scale(self.grad, -1.0F));
@@ -48,6 +59,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   Matrix out = kern::mul(a.value(), b.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
     accum_parent(self, 0, kern::mul(self.grad, self.parents[1]->value));
     accum_parent(self, 1, kern::mul(self.grad, self.parents[0]->value));
@@ -56,6 +68,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 Tensor scale(const Tensor& a, float s) {
   Matrix out = kern::scale(a.value(), s);
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a}, [s](TapeNode& self) {
     accum_parent(self, 0, kern::scale(self.grad, s));
   });
@@ -63,6 +76,7 @@ Tensor scale(const Tensor& a, float s) {
 
 Tensor add_rowvec(const Tensor& a, const Tensor& b) {
   Matrix out = kern::add_rowvec(a.value(), b.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a, b}, [](TapeNode& self) {
     accum_parent(self, 0, self.grad);
     accum_parent(self, 1, kern::col_sum(self.grad));
@@ -71,6 +85,7 @@ Tensor add_rowvec(const Tensor& a, const Tensor& b) {
 
 Tensor scale_rows(const Tensor& a, const Tensor& s) {
   Matrix out = kern::scale_rows(a.value(), s.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a, s}, [](TapeNode& self) {
     accum_parent(self, 0, kern::scale_rows(self.grad, self.parents[1]->value));
     accum_parent(self, 1, kern::row_dot(self.grad, self.parents[0]->value));
@@ -79,6 +94,7 @@ Tensor scale_rows(const Tensor& a, const Tensor& s) {
 
 Tensor sigmoid(const Tensor& a) {
   Matrix out = kern::sigmoid(a.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
     // dy/dx = y (1 - y), read from this node's own value.
     const Matrix& y = self.value;
@@ -93,6 +109,7 @@ Tensor sigmoid(const Tensor& a) {
 
 Tensor tanh_t(const Tensor& a) {
   Matrix out = kern::tanh_m(a.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
     const Matrix& y = self.value;
     Matrix d(y.rows(), y.cols());
@@ -106,6 +123,7 @@ Tensor tanh_t(const Tensor& a) {
 
 Tensor relu(const Tensor& a) {
   Matrix out = kern::relu(a.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
     const Matrix& x = self.parents[0]->value;
     Matrix d(x.rows(), x.cols());
@@ -117,6 +135,7 @@ Tensor relu(const Tensor& a) {
 
 Tensor concat_cols(const Tensor& a, const Tensor& b) {
   Matrix out = kern::concat_cols(a.value(), b.value());
+  if (!grad_enabled()) return constant(std::move(out));
   const int ca = a.cols();
   return Tensor::make(std::move(out), {a, b}, [ca](TapeNode& self) {
     accum_parent(self, 0, kern::slice_cols(self.grad, 0, ca));
@@ -126,6 +145,7 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
 
 Tensor slice_cols(const Tensor& a, int c0, int c1) {
   Matrix out = kern::slice_cols(a.value(), c0, c1);
+  if (!grad_enabled()) return constant(std::move(out));
   const int cols = a.cols();
   return Tensor::make(std::move(out), {a}, [c0, c1, cols](TapeNode& self) {
     Matrix d(self.grad.rows(), cols);
@@ -135,43 +155,32 @@ Tensor slice_cols(const Tensor& a, int c0, int c1) {
   });
 }
 
-Tensor gather_rows(const Tensor& a, std::vector<int> idx) {
+Tensor gather_rows(const Tensor& a, const std::vector<int>& idx) {
   Matrix out = kern::gather_rows(a.value(), idx);
+  if (!grad_enabled()) return constant(std::move(out));
   const int src_rows = a.rows();
-  return Tensor::make(std::move(out), {a},
-                      [idx = std::move(idx), src_rows](TapeNode& self) {
-                        accum_parent(self, 0,
-                                     kern::scatter_add_rows(self.grad, idx, src_rows));
-                      });
+  return Tensor::make(std::move(out), {a}, [idx, src_rows](TapeNode& self) {
+    accum_parent(self, 0, kern::scatter_add_rows(self.grad, idx, src_rows));
+  });
 }
 
-Tensor scatter_add_rows(const Tensor& src, std::vector<int> idx, int out_rows) {
+Tensor scatter_add_rows(const Tensor& src, const std::vector<int>& idx, int out_rows) {
   Matrix out = kern::scatter_add_rows(src.value(), idx, out_rows);
-  return Tensor::make(std::move(out), {src}, [idx = std::move(idx)](TapeNode& self) {
+  if (!grad_enabled()) return constant(std::move(out));
+  return Tensor::make(std::move(out), {src}, [idx](TapeNode& self) {
     accum_parent(self, 0, kern::gather_rows(self.grad, idx));
   });
 }
 
-Tensor softmax_segments(const Tensor& scores, std::vector<int> segment, int num_segments) {
-  const Matrix& s = scores.value();
-  assert(s.cols() == 1 && s.rows() == static_cast<int>(segment.size()));
-  // Numerically stable per-segment softmax.
-  std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
-                             -std::numeric_limits<float>::infinity());
-  for (int i = 0; i < s.rows(); ++i)
-    seg_max[segment[i]] = std::max(seg_max[segment[i]], s.at(i, 0));
-  Matrix out(s.rows(), 1);
-  std::vector<float> seg_sum(static_cast<std::size_t>(num_segments), 0.0F);
-  for (int i = 0; i < s.rows(); ++i) {
-    const float e = std::exp(s.at(i, 0) - seg_max[segment[i]]);
-    out.at(i, 0) = e;
-    seg_sum[segment[i]] += e;
-  }
-  for (int i = 0; i < s.rows(); ++i) out.at(i, 0) /= seg_sum[segment[i]];
-
+Tensor softmax_segments(const Tensor& scores, const std::vector<int>& segment,
+                        int num_segments) {
+  // kern::softmax_segments is bitwise-identical to the original fused loop
+  // on the scalar backend and routes the exp through the dispatch layer.
+  Matrix out = kern::softmax_segments(scores.value(), segment, num_segments);
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(
       std::move(out), {scores},
-      [segment = std::move(segment), num_segments](TapeNode& self) {
+      [segment, num_segments](TapeNode& self) {
         // d s_i = alpha_i * (g_i - sum_{j in seg(i)} alpha_j g_j)
         const Matrix& alpha = self.value;
         const Matrix& g = self.grad;
@@ -200,6 +209,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     for (int i = 0; i < m.rows(); ++i, ++r)
       for (int j = 0; j < cols; ++j) out.at(r, j) = m.at(i, j);
   }
+  if (!grad_enabled()) return constant(std::move(out));
   std::vector<int> part_rows;
   part_rows.reserve(parts.size());
   for (const auto& p : parts) part_rows.push_back(p.rows());
@@ -218,6 +228,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
 Tensor sum_all(const Tensor& a) {
   Matrix out(1, 1);
   out.at(0, 0) = kern::sum_all(a.value());
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a}, [](TapeNode& self) {
     const Matrix& x = self.parents[0]->value;
     accum_parent(self, 0, Matrix::full(x.rows(), x.cols(), self.grad.at(0, 0)));
@@ -228,6 +239,7 @@ Tensor mean_all(const Tensor& a) {
   const float n = static_cast<float>(a.value().size());
   Matrix out(1, 1);
   out.at(0, 0) = kern::sum_all(a.value()) / n;
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {a}, [n](TapeNode& self) {
     const Matrix& x = self.parents[0]->value;
     accum_parent(self, 0, Matrix::full(x.rows(), x.cols(), self.grad.at(0, 0) / n));
@@ -242,6 +254,7 @@ Tensor l1_loss(const Tensor& pred, const Matrix& target) {
   float acc_v = 0.0F;
   for (std::size_t i = 0; i < p.size(); ++i) acc_v += std::abs(p.data()[i] - target.data()[i]);
   out.at(0, 0) = acc_v / n;
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {pred}, [target, n](TapeNode& self) {
     const Matrix& p2 = self.parents[0]->value;
     Matrix d(p2.rows(), p2.cols());
@@ -265,6 +278,7 @@ Tensor mse_loss(const Tensor& pred, const Matrix& target) {
     acc_v += diff * diff;
   }
   out.at(0, 0) = acc_v / n;
+  if (!grad_enabled()) return constant(std::move(out));
   return Tensor::make(std::move(out), {pred}, [target, n](TapeNode& self) {
     const Matrix& p2 = self.parents[0]->value;
     Matrix d(p2.rows(), p2.cols());

@@ -27,16 +27,20 @@ Tensor relu(const Tensor& a);
 Tensor concat_cols(const Tensor& a, const Tensor& b);
 Tensor slice_cols(const Tensor& a, int c0, int c1);
 
-/// out[i] = a[idx[i]] — row gather (source rows may repeat).
-Tensor gather_rows(const Tensor& a, std::vector<int> idx);
-/// out has `out_rows` rows; out[idx[i]] += src[i].
-Tensor scatter_add_rows(const Tensor& src, std::vector<int> idx, int out_rows);
+/// out[i] = a[idx[i]] — row gather (source rows may repeat). `idx` is only
+/// copied into the backward closure when gradients are being recorded; the
+/// no-grad path borrows it.
+Tensor gather_rows(const Tensor& a, const std::vector<int>& idx);
+/// out has `out_rows` rows; out[idx[i]] += src[i]. Same capture rule.
+Tensor scatter_add_rows(const Tensor& src, const std::vector<int>& idx, int out_rows);
 
 /// Per-segment softmax over a column of scores (Ex1). `segment[i]` names the
 /// destination group of edge i; groups need not be contiguous. This is the
 /// attention normalization of Eq. (5): softmax over the predecessors of each
-/// node, batched over all nodes of a level.
-Tensor softmax_segments(const Tensor& scores, std::vector<int> segment, int num_segments);
+/// node, batched over all nodes of a level. `segment` is only copied into
+/// the backward closure when gradients are being recorded.
+Tensor softmax_segments(const Tensor& scores, const std::vector<int>& segment,
+                        int num_segments);
 
 /// Stack parts vertically (all must share a column count). The workhorse of
 /// per-level state storage: gathers from several level tensors are stitched

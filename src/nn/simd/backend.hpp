@@ -39,6 +39,14 @@ struct KernelBackend {
   void (*matmul_bf16_rows)(float* c, const float* a, const std::uint16_t* b, int i0, int i1,
                            int k, int n);
 
+  /// c[i] += dot(A row i, w) for rows [i0, i1) (A: rows x k, w: k floats,
+  /// c: one float per row). Exactly matmul_rows with n == 1: zero-skip on
+  /// A-elements, k-ascending accumulation, one rounding per mul and add.
+  /// Exists because the attention aggregator's Ex1 score matmuls are too
+  /// thin for the j-blocked matmul kernels to vectorize (n == 1 leaves only
+  /// the scalar tail); backends may vectorize ACROSS rows instead.
+  void (*matvec_rows)(float* c, const float* a, const float* w, int i0, int i1, int k);
+
   // Flat elementwise ranges of length n (the caller applies block offsets).
   void (*add_n)(float* c, const float* a, const float* b, std::size_t n);
   void (*sub_n)(float* c, const float* a, const float* b, std::size_t n);
@@ -49,6 +57,10 @@ struct KernelBackend {
   void (*relu_n)(float* c, const float* a, std::size_t n);
   void (*sigmoid_n)(float* c, const float* a, std::size_t n);
   void (*tanh_n)(float* c, const float* a, std::size_t n);
+  /// c[i] = exp(a[i]). Scalar/generic call libm; AVX2 uses the same
+  /// polynomial exp as sigmoid_n/tanh_n and shares their absolute-error
+  /// bound + position-invariance contract. Powers the segment softmax.
+  void (*exp_n)(float* c, const float* a, std::size_t n);
   void (*copy_n)(float* dst, const float* src, std::size_t n);
 };
 
@@ -71,6 +83,7 @@ void matmul_tn_cols(float* c, const float* a, const float* b, int j0, int j1, in
                     int n);
 void matmul_bf16_rows(float* c, const float* a, const std::uint16_t* b, int i0, int i1, int k,
                       int n);
+void matvec_rows(float* c, const float* a, const float* w, int i0, int i1, int k);
 void add_n(float* c, const float* a, const float* b, std::size_t n);
 void sub_n(float* c, const float* a, const float* b, std::size_t n);
 void mul_n(float* c, const float* a, const float* b, std::size_t n);
@@ -80,6 +93,7 @@ void axpy_n(float* a, float alpha, const float* b, std::size_t n);
 void relu_n(float* c, const float* a, std::size_t n);
 void sigmoid_n(float* c, const float* a, std::size_t n);
 void tanh_n(float* c, const float* a, std::size_t n);
+void exp_n(float* c, const float* a, std::size_t n);
 void copy_n(float* dst, const float* src, std::size_t n);
 }  // namespace scalar_workers
 

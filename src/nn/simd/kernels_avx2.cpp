@@ -135,6 +135,40 @@ void matmul_bf16_rows_avx2(float* c, const float* a, const std::uint16_t* b, int
   }
 }
 
+void matvec_rows_avx2(float* c, const float* a, const float* w, int i0, int i1, int k) {
+  // n == 1 leaves the j-blocked matmul with nothing to vectorize, so this
+  // kernel vectorizes ACROSS 8 rows: one gather of column p over 8 rows per
+  // k-step. The zero-skip is reproduced exactly with a compare+blend — a
+  // lane whose A-element compares equal to 0.0f keeps its accumulator
+  // (NEQ_UQ so a NaN A-element is NOT skipped, matching `av == 0.0f` being
+  // false for NaN), which also keeps Inf/NaN in skipped w entries out of c
+  // and preserves a -0.0 accumulator. Mul and add stay separate roundings
+  // (-ffp-contract=off), so every lane matches the scalar oracle bitwise.
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256i stride =
+      _mm256_setr_epi32(0, k, 2 * k, 3 * k, 4 * k, 5 * k, 6 * k, 7 * k);
+  int i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    const float* base = a + static_cast<std::size_t>(i) * k;
+    __m256 acc = _mm256_loadu_ps(c + i);
+    for (int p = 0; p < k; ++p) {
+      const __m256 av = _mm256_i32gather_ps(base + p, stride, 4);
+      const __m256 mask = _mm256_cmp_ps(av, zero, _CMP_NEQ_UQ);
+      const __m256 sum = _mm256_add_ps(acc, _mm256_mul_ps(av, _mm256_set1_ps(w[p])));
+      acc = _mm256_blendv_ps(acc, sum, mask);
+    }
+    _mm256_storeu_ps(c + i, acc);
+  }
+  for (; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0F) continue;
+      c[i] += av * w[p];
+    }
+  }
+}
+
 void matmul_tn_cols_avx2(float* c, const float* a, const float* b, int j0, int j1, int k, int m,
                          int n) {
   for (int p = 0; p < k; ++p) {
@@ -289,6 +323,12 @@ void tanh_n_avx2(float* c, const float* a, std::size_t n) {
   map_tail(c, a, i, n, [](__m256 x) { return tanh8(x); });
 }
 
+void exp_n_avx2(float* c, const float* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm256_storeu_ps(c + i, exp256(_mm256_loadu_ps(a + i)));
+  map_tail(c, a, i, n, [](__m256 x) { return exp256(x); });
+}
+
 }  // namespace
 
 const KernelBackend* avx2_backend() {
@@ -297,6 +337,7 @@ const KernelBackend* avx2_backend() {
       &matmul_rows_avx2,
       &matmul_tn_cols_avx2,
       &matmul_bf16_rows_avx2,
+      &matvec_rows_avx2,
       &add_n_avx2,
       &sub_n_avx2,
       &mul_n_avx2,
@@ -306,6 +347,7 @@ const KernelBackend* avx2_backend() {
       &relu_n_avx2,
       &sigmoid_n_avx2,
       &tanh_n_avx2,
+      &exp_n_avx2,
       &copy_n_avx2,
   };
   return &table;

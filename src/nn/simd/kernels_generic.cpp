@@ -82,6 +82,7 @@ const KernelBackend& generic_backend() {
       &matmul_rows_generic,
       &scalar_workers::matmul_tn_cols,
       &matmul_bf16_rows_generic,
+      &scalar_workers::matvec_rows,
       &scalar_workers::add_n,
       &scalar_workers::sub_n,
       &scalar_workers::mul_n,
@@ -91,6 +92,7 @@ const KernelBackend& generic_backend() {
       &scalar_workers::relu_n,
       &scalar_workers::sigmoid_n,
       &scalar_workers::tanh_n,
+      &scalar_workers::exp_n,
       &scalar_workers::copy_n,
   };
   return table;

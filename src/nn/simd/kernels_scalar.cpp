@@ -62,6 +62,17 @@ void matmul_bf16_rows(float* c, const float* a, const std::uint16_t* b, int i0, 
   }
 }
 
+void matvec_rows(float* c, const float* a, const float* w, int i0, int i1, int k) {
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0F) continue;
+      c[i] += av * w[p];
+    }
+  }
+}
+
 void add_n(float* c, const float* a, const float* b, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
 }
@@ -98,6 +109,10 @@ void tanh_n(float* c, const float* a, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) c[i] = std::tanh(a[i]);
 }
 
+void exp_n(float* c, const float* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = std::exp(a[i]);
+}
+
 void copy_n(float* dst, const float* src, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
 }
@@ -110,6 +125,7 @@ const KernelBackend& scalar_backend() {
       &scalar_workers::matmul_rows,
       &scalar_workers::matmul_tn_cols,
       &scalar_workers::matmul_bf16_rows,
+      &scalar_workers::matvec_rows,
       &scalar_workers::add_n,
       &scalar_workers::sub_n,
       &scalar_workers::mul_n,
@@ -119,6 +135,7 @@ const KernelBackend& scalar_backend() {
       &scalar_workers::relu_n,
       &scalar_workers::sigmoid_n,
       &scalar_workers::tanh_n,
+      &scalar_workers::exp_n,
       &scalar_workers::copy_n,
   };
   return table;

@@ -1,8 +1,10 @@
 #include "nn/tensor.hpp"
 
+#include "nn/arena.hpp"
 #include "nn/kernels.hpp"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -11,6 +13,30 @@ namespace {
 // Thread-local so trainer pool workers can tape independently and inference
 // guards on one thread don't disable taping on another.
 thread_local bool g_grad_enabled = true;
+
+// Routes the shared_ptr control block + TapeNode through the arena so the
+// per-op tape-node allocation disappears from the no-grad steady state.
+// Deallocation goes by buffer header, so a node outliving the scope is fine.
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(detail::arena_acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) { detail::arena_release(p); }
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>&) const { return true; }
+};
+
+std::shared_ptr<TapeNode> new_tape_node() {
+  if (detail::arena_active()) {
+    return std::allocate_shared<TapeNode>(ArenaAllocator<TapeNode>{});
+  }
+  return std::make_shared<TapeNode>();
+}
 }  // namespace
 
 void TapeNode::accum_grad(const Matrix& d) {
@@ -24,7 +50,7 @@ void TapeNode::accum_grad(const Matrix& d) {
 }
 
 Tensor Tensor::leaf(Matrix value, bool requires_grad) {
-  auto node = std::make_shared<TapeNode>();
+  auto node = new_tape_node();
   node->value = std::move(value);
   node->requires_grad = requires_grad;
   return Tensor(std::move(node));
@@ -32,7 +58,7 @@ Tensor Tensor::leaf(Matrix value, bool requires_grad) {
 
 Tensor Tensor::make(Matrix value, std::vector<Tensor> parents,
                     std::function<void(TapeNode&)> backward_fn) {
-  auto node = std::make_shared<TapeNode>();
+  auto node = new_tape_node();
   node->value = std::move(value);
   if (grad_enabled()) {
     bool any = false;

@@ -2,6 +2,7 @@
 
 #include "core/deepgate.hpp"
 #include "gnn/model_common.hpp"
+#include "nn/arena.hpp"
 #include "nn/tensor.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
@@ -320,13 +321,20 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
         pred = model.predict(g).value();
       }
     };
-    if (graphs.size() == 1) {
-      // Solo group: the literal single-graph code path — trivially bit-exact
-      // with Engine::predict_probabilities.
-      forward(*graphs[0]);
-    } else {
-      merged = merge_cache_.merged(graphs);
-      forward(*merged);
+    // Merge outside the arena scope (the cache retains the super-graph across
+    // requests); run the forward inside it so the lane's level states and
+    // scratch recycle request to request. Response matrices are copied after
+    // the scope closes, so client-held buffers never drain the lane's arena.
+    if (graphs.size() > 1) merged = merge_cache_.merged(graphs);
+    {
+      dg::nn::ArenaScope arena;
+      if (merged == nullptr) {
+        // Solo group: the literal single-graph code path — trivially
+        // bit-exact with Engine::predict_probabilities.
+        forward(*graphs[0]);
+      } else {
+        forward(*merged);
+      }
     }
     const Clock::time_point done = Clock::now();
 

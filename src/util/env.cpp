@@ -1,5 +1,7 @@
 #include "util/env.hpp"
 
+#include "util/log.hpp"
+
 #include <cstdlib>
 
 namespace dg::util {
@@ -27,7 +29,13 @@ long long env_int(const std::string& name, long long fallback) {
   if (v == nullptr) return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(v, &end, 10);
-  return (end == v) ? fallback : parsed;
+  // Reject partially-consumed values ("4x", "1e3", "  "): silently taking
+  // the numeric prefix turns a typo into a different configuration.
+  if (end == v || *end != '\0') {
+    log_warn(name, "=\"", v, "\" is not an integer; using fallback ", fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
 std::string env_str(const std::string& name, const std::string& fallback) {

@@ -17,6 +17,9 @@
 //   DEEPGATE_PRECISION = fp32 | bf16         (default Engine inference weight
 //                                             precision; bf16 = packed bf16
 //                                             weights, fp32 accumulation)
+//   DEEPGATE_ARENA = on | off                (no-grad forward buffer arena,
+//                                             default on — nn/arena.hpp;
+//                                             off = plain heap per forward)
 #pragma once
 
 #include <cstdint>
@@ -37,7 +40,8 @@ int env_epochs(int fallback);
 /// DEEPGATE_SEED if set, else `fallback`.
 std::uint64_t env_seed(std::uint64_t fallback = 1);
 
-/// Generic integer env lookup.
+/// Generic integer env lookup. The whole value must parse as a base-10
+/// integer; partially-numeric strings ("4x") warn and return `fallback`.
 long long env_int(const std::string& name, long long fallback);
 
 /// Generic string env lookup.

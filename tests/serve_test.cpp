@@ -9,6 +9,7 @@
 #include "core/deepgate.hpp"
 #include "data/generators_large.hpp"
 #include "data/generators_small.hpp"
+#include "nn/arena.hpp"
 #include "serve/merge_cache.hpp"
 #include "util/lru.hpp"
 
@@ -683,6 +684,48 @@ TEST(EngineBatch, EmptyAndZeroNodeGraphs) {
   const auto embs = runner.embeddings({&empty});
   ASSERT_EQ(embs.size(), 1u);
   EXPECT_EQ(embs[0].rows(), 0);
+}
+
+// -- Arena steady state -------------------------------------------------------
+
+// The PR 7 acceptance counter: after warm-up, a lane replaying identical
+// traffic must perform ZERO arena heap allocations per request — every
+// buffer a steady-state forward needs comes back out of the lane arena's
+// freelists. Response matrices are copied outside the scope, so client-held
+// results never drain the pool.
+TEST(ServeLoop, SteadyStateRequestsHitZeroArenaHeapAllocs) {
+  if (!nn::arena_enabled()) GTEST_SKIP() << "DEEPGATE_ARENA=off";
+  deepgate::Options options;  // default spec: DeepGate w/ skip connections
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+  const auto graphs = mixed_graphs();
+  const CircuitGraph& g = graphs[2];  // the deepest member of the mix
+
+  ServerOptions sopts;
+  sopts.lanes = 1;       // one lane -> one arena, deterministic reuse
+  sopts.max_graphs = 1;  // solo batches: identical forward every request
+  sopts.max_batch_delay = std::chrono::microseconds(50);
+  auto server = deepgate::serve::start(engine, sopts);
+
+  const auto run_request = [&] {
+    const Response r = server->submit({&g, true}).get();
+    ASSERT_EQ(static_cast<int>(r.probabilities.size()), g.num_nodes);
+    ASSERT_EQ(r.embedding.rows(), g.num_nodes);
+  };
+  // Warm-up fills the lane's freelists (first forward) plus one repeat to
+  // cover one-time lane setup (clone, pool, response plumbing).
+  for (int i = 0; i < 3; ++i) run_request();
+
+  const nn::ArenaStats before = nn::arena_stats();
+  constexpr int kSteadyRequests = 8;
+  for (int i = 0; i < kSteadyRequests; ++i) run_request();
+  const nn::ArenaStats after = nn::arena_stats();
+  EXPECT_EQ(after.heap_allocs, before.heap_allocs)
+      << (after.heap_allocs - before.heap_allocs) << " arena heap allocs ("
+      << (after.heap_bytes - before.heap_bytes) << " bytes) leaked into "
+      << kSteadyRequests << " steady-state requests";
+  EXPECT_GT(after.reuses, before.reuses) << "arena was never consulted";
+  server->shutdown();
 }
 
 }  // namespace

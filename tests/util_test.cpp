@@ -59,6 +59,26 @@ TEST(Env, ScaleParsing) {
   EXPECT_EQ(bench_scale(), BenchScale::kSmall);
 }
 
+TEST(Env, IntRejectsPartiallyConsumedValues) {
+  ::setenv("DEEPGATE_TEST_INT", "4", 1);
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", -1), 4);
+  ::setenv("DEEPGATE_TEST_INT", "-17", 1);
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", -1), -17);
+  // Trailing garbage must not silently become the numeric prefix.
+  ::setenv("DEEPGATE_TEST_INT", "4x", 1);
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", -1), -1);
+  ::setenv("DEEPGATE_TEST_INT", "1e3", 1);
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", -1), -1);
+  ::setenv("DEEPGATE_TEST_INT", "3.5", 1);
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", -1), -1);
+  ::setenv("DEEPGATE_TEST_INT", "", 1);
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", 7), 7);
+  ::setenv("DEEPGATE_TEST_INT", "nope", 1);
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", 7), 7);
+  ::unsetenv("DEEPGATE_TEST_INT");
+  EXPECT_EQ(env_int("DEEPGATE_TEST_INT", 9), 9);
+}
+
 TEST(Env, EpochOverride) {
   ::unsetenv("DEEPGATE_EPOCHS");
   EXPECT_EQ(env_epochs(12), 12);

@@ -21,6 +21,11 @@ Exit codes: 1 when --strict and at least one row regressed; 0 otherwise —
 including when the baseline path is missing entirely (first run on a branch,
 expired artifact), which only warns: a trend gate must not fail the lane
 that creates the first data point.
+
+When $GITHUB_STEP_SUMMARY is set (always, inside an Actions step), every
+compared row is also appended there as a markdown per-mode delta table, so
+the job summary shows baseline -> current for each mode without digging
+through the log.
 """
 
 import argparse
@@ -73,8 +78,12 @@ def find_reports(root: str):
     return found
 
 
-def compare_report(rel, base_doc, cur_doc, metric, threshold):
-    """Returns list of (mode, base, cur, ratio) regressions; prints each row."""
+def compare_report(rel, base_doc, cur_doc, metric, threshold, table):
+    """Returns list of (mode, base, cur, ratio) regressions; prints each row.
+
+    Every row (including new modes) is also appended to `table` as
+    (report, mode, base|None, cur|None, status) for the step summary.
+    """
     regressions = []
     base_rows = rows_by_mode(base_doc)
     cur_rows = rows_by_mode(cur_doc)
@@ -85,6 +94,7 @@ def compare_report(rel, base_doc, cur_doc, metric, threshold):
     for mode in cur_rows:
         if mode not in base_rows:
             print(f"  {rel} [{mode}]: new mode (no baseline row)")
+            table.append((rel, mode, None, cur_rows[mode].get(metric), "new"))
             continue
         base = base_rows[mode].get(metric)
         cur = cur_rows[mode].get(metric)
@@ -99,10 +109,41 @@ def compare_report(rel, base_doc, cur_doc, metric, threshold):
             regressions.append((f"{rel} [{mode}]", base, cur, ratio))
         print(f"  {rel} [{mode}]: {metric} {base:.1f} -> {cur:.1f} "
               f"({ratio:.1%} of baseline) {status}")
+        table.append((rel, mode, base, cur, status))
     for mode in base_rows:
         if mode not in cur_rows:
             warn(f"{rel} [{mode}]: present in baseline but missing from current run")
+            table.append((rel, mode, base_rows[mode].get(metric), None, "missing"))
     return regressions
+
+
+def write_step_summary(table, metric, threshold):
+    """Append the per-mode delta table to $GITHUB_STEP_SUMMARY, when set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not table:
+        return
+    lines = [
+        f"### Bench comparison ({metric}, threshold {threshold:.0%})",
+        "",
+        f"| report | mode | baseline | current | delta | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for rel, mode, base, cur, status in table:
+        base_s = f"{base:.1f}" if isinstance(base, (int, float)) else "—"
+        cur_s = f"{cur:.1f}" if isinstance(cur, (int, float)) else "—"
+        if isinstance(base, (int, float)) and isinstance(cur, (int, float)) and base > 0:
+            delta_s = f"{cur / base - 1.0:+.1%}"
+        else:
+            delta_s = "—"
+        mark = {"ok": "✅", "new": "🆕", "missing": "⚠️"}.get(status, "❌")
+        lines.append(f"| {rel} | {mode} | {base_s} | {cur_s} | {delta_s} "
+                     f"| {mark} {status} |")
+    lines.append("")
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        warn(f"cannot append step summary {path}: {e}")
 
 
 def main() -> int:
@@ -143,6 +184,7 @@ def main() -> int:
         cur_reports = {"report": next(iter(cur_reports.values()))}
 
     regressions = []
+    table = []
     compared = 0
     for rel, cur_path in sorted(cur_reports.items()):
         if rel not in base_reports:
@@ -154,7 +196,8 @@ def main() -> int:
             continue
         compared += 1
         regressions += compare_report(rel, base_doc, cur_doc,
-                                      args.metric, args.threshold)
+                                      args.metric, args.threshold, table)
+    write_step_summary(table, args.metric, args.threshold)
 
     if compared == 0:
         warn("no comparable reports between baseline and current; nothing gated")
