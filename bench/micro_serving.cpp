@@ -271,6 +271,28 @@ int main(int argc, char** argv) {
       records.back().num("arena", nn::arena_enabled() ? 1.0 : 0.0);
     }
 
+    // Opt-in DEEPGATE_FAST_MATH lane: avx2 with the matmul family contracted
+    // to FMAs. Tolerance-checked against the reference like the avx2 row —
+    // the overlay trades the bitwise contract for one rounding per mul+add.
+    if (simd::available(SimdLevel::kAvx2)) {
+      const SimdLevel prev = simd::set_level(SimdLevel::kAvx2);
+      const bool fm_was = simd::set_fast_math(true);
+      std::vector<std::vector<float>> out;
+      const double secs = time_best_of(wl.reps, [&] { out = serial_runner.predict(ptrs); });
+      simd::set_fast_math(fm_was);
+      simd::set_level(prev);
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        for (std::size_t v = 0; v < reference[i].size(); ++v)
+          if (std::abs(out[i][v] - reference[i][v]) > 1e-4F) {
+            std::fprintf(stderr, "FAIL: avx2_fma backend diverged from reference (graph %zu "
+                                 "node %zu)\n", i, v);
+            return 1;
+          }
+      record("kernels_avx2_fma", 1, serial_opts.node_budget, secs);
+      records.back().num("speedup_vs_scalar", scalar_secs / secs);
+      records.back().num("arena", nn::arena_enabled() ? 1.0 : 0.0);
+    }
+
     // bf16 weights at the best backend: throughput plus the accuracy cost.
     deepgate::Options bf16_options = options;
     bf16_options.precision = deepgate::Precision::kBf16;

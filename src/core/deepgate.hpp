@@ -89,6 +89,8 @@ struct BatchInference {
   std::vector<dg::nn::Matrix> embeddings;
 };
 
+class IncrementalSession;
+
 class Engine {
  public:
   explicit Engine(const Options& options = Options());
@@ -136,6 +138,17 @@ class Engine {
   /// embeddings_batch pair (which pays the merge and the propagation twice).
   /// Bit-exact with those separate calls; same degenerate-request contract.
   BatchInference infer_batch(const std::vector<const CircuitGraph*>& batch) const;
+
+  /// Incremental inference over a mutating circuit (core/incremental_session
+  /// .hpp): per-node probabilities / embeddings of the session's CURRENT
+  /// graph, re-propagating only the fan-out cone of the edits since the
+  /// session's previous query (and replaying cached outputs outright when
+  /// nothing changed — so embed-then-predict on an unchanged session costs
+  /// exactly one level-loop forward). Bitwise identical to rebuilding the
+  /// graph and calling predict_probabilities / embeddings. The session must
+  /// be bound to THIS engine; throws std::invalid_argument otherwise.
+  std::vector<float> predict_incremental(IncrementalSession& session) const;
+  dg::nn::Matrix embeddings_incremental(IncrementalSession& session) const;
 
   /// Fresh deep copy of the model (identical architecture and current
   /// parameter values) — the replica factory for serve worker lanes: each

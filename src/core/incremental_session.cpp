@@ -1,0 +1,74 @@
+#include "core/incremental_session.hpp"
+
+#include "nn/arena.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace deepgate {
+
+IncrementalSession::IncrementalSession(const Engine& engine, CircuitGraph graph)
+    : engine_(&engine), graph_(std::move(graph)) {
+  if (graph_.num_nodes == 0)
+    throw std::invalid_argument("IncrementalSession: empty graph");
+  if (graph_.is_batch())
+    throw std::invalid_argument("IncrementalSession: merged batch graphs not supported");
+  if (graph_.node_pos.size() != static_cast<std::size_t>(graph_.num_nodes))
+    throw std::invalid_argument("IncrementalSession: graph must be finalized");
+  state_ = engine.model().make_incremental_state();
+  old_of_new_.resize(static_cast<std::size_t>(graph_.num_nodes));
+  std::iota(old_of_new_.begin(), old_of_new_.end(), 0);
+}
+
+int IncrementalSession::insert_node(int type, const std::vector<int>& fanins, float label) {
+  const int v = graph_.delta_insert_node(type, fanins, label);
+  old_of_new_.push_back(-1);
+  return v;
+}
+
+void IncrementalSession::delete_node(int v) {
+  graph_.delta_delete_node(v);  // throws (and leaves the map intact) on fanouts
+  old_of_new_.erase(old_of_new_.begin() + v);
+}
+
+void IncrementalSession::rewire_node(int v, const std::vector<int>& fanins) {
+  graph_.delta_rewire_node(v, fanins);  // ids are stable under rewire
+}
+
+std::vector<float> Engine::predict_incremental(IncrementalSession& session) const {
+  if (session.engine_ != this)
+    throw std::invalid_argument("predict_incremental: session bound to a different engine");
+  dg::nn::NoGradGuard no_grad;
+  const CircuitGraph& g = session.graph_;
+  std::vector<float> out(static_cast<std::size_t>(g.num_nodes));
+  {
+    dg::nn::ArenaScope arena;
+    const dg::gnn::ForwardOutputs res = model_->forward_incremental(
+        g, session.state_.get(), session.old_of_new_, &session.stats_);
+    const dg::nn::Matrix& pred = res.prediction.value();
+    for (int v = 0; v < g.num_nodes; ++v)
+      out[static_cast<std::size_t>(v)] = pred.at(v, 0);
+  }
+  // The memo snapshot now IS the current generation: identity map.
+  std::iota(session.old_of_new_.begin(), session.old_of_new_.end(), 0);
+  return out;
+}
+
+dg::nn::Matrix Engine::embeddings_incremental(IncrementalSession& session) const {
+  if (session.engine_ != this)
+    throw std::invalid_argument("embeddings_incremental: session bound to a different engine");
+  dg::nn::NoGradGuard no_grad;
+  dg::nn::Tensor emb;
+  {
+    dg::nn::ArenaScope arena;
+    emb = model_
+              ->forward_incremental(session.graph_, session.state_.get(),
+                                    session.old_of_new_, &session.stats_)
+              .embedding;
+  }
+  std::iota(session.old_of_new_.begin(), session.old_of_new_.end(), 0);
+  // Copy outside the scope: the caller keeps the result indefinitely.
+  return emb.value();
+}
+
+}  // namespace deepgate

@@ -65,6 +65,12 @@ struct CircuitGraph {
   std::vector<analysis::SkipEdge> skip_edges;
   std::vector<float> labels;                ///< simulated signal probabilities
 
+  /// Structure-version counter, bumped by finalize() and by every delta_*
+  /// edit. Memoized forward state (gnn/incremental.hpp) is keyed on it to
+  /// detect staleness. Not a defining field: excluded from serialize() and
+  /// bit_equal().
+  std::uint64_t generation = 0;
+
   /// Batch metadata — non-empty only for super-graphs built by merge().
   /// Because every node id is member-local id + node_offset, member m's rows
   /// of any N x d model output are the contiguous block
@@ -114,6 +120,42 @@ struct CircuitGraph {
   static CircuitGraph merge(const std::vector<const CircuitGraph*>& parts);
 
   bool is_batch() const { return !members.empty(); }
+
+  // --- Delta updates -------------------------------------------------------
+  //
+  // In-place structural edits on a finalized, non-batch graph. Each op keeps
+  // the defining fields exactly as a from-scratch build would produce them
+  // (edges stay grouped by destination in fanin order — the canonical order
+  // finalize() relies on for reproducible batch construction), re-levelizes
+  // only the fan-out cone of the edit, and rebuilds per-level batches only
+  // for levels whose membership, positions, or incident edges changed. All
+  // ops bump `generation`. They throw std::invalid_argument on merged
+  // batches, unfinalized graphs, out-of-range ids, or (for rewire) edits
+  // that would create a cycle.
+
+  /// Append a node of `type` fed by `fanins` (existing ids; duplicates
+  /// allowed, empty = new level-0 node). Returns the new node id
+  /// (== old num_nodes).
+  int delta_insert_node(int type, const std::vector<int>& fanins, float label = 0.5F);
+
+  /// Remove node `v`. Only nodes without fanouts can be deleted (throws
+  /// otherwise); skip edges touching `v` are dropped. Ids above `v` shift
+  /// down by one, preserving order.
+  void delta_delete_node(int v);
+
+  /// Replace node `v`'s fanin list. Throws if any new fanin lies inside
+  /// `v`'s fan-out cone (including `v` itself) — that would create a cycle.
+  /// Skip-edge level_diffs are recomputed for moved endpoints; a skip edge
+  /// whose diff drops below 1 no longer points strictly upward and is
+  /// removed.
+  void delta_rewire_node(int v, const std::vector<int>& fanins);
+
+  /// Per-node fanin lists reconstructed from `edges` (canonical per-dst
+  /// order). O(N + E).
+  std::vector<std::vector<int>> fanin_lists() const;
+
+  /// Per-node fanout counts. O(N + E).
+  std::vector<int> fanout_counts() const;
 
   /// Batched graphs: member index of each row of nodes_at_level[L]. Relies
   /// on the merge invariant that nodes_at_level entries ascend and member

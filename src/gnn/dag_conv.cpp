@@ -2,6 +2,7 @@
 // Within a layer, levels are processed in topological order and aggregation
 // reads the CURRENT layer's already-updated predecessor states; there is no
 // reversed propagation and no recurrence.
+#include "gnn/incremental.hpp"
 #include "gnn/models.hpp"
 
 namespace dg::gnn {
@@ -22,6 +23,7 @@ class DagConvModel final : public Model {
   }
 
   Tensor embed(const CircuitGraph& g) const override {
+    count_full_forward();
     auto states = init_level_states(g, cfg_.dim, /*random_init=*/false, cfg_.seed);
     const auto x_lvl = level_onehot(g);
     for (const auto& layer : layers_) {
@@ -45,6 +47,19 @@ class DagConvModel final : public Model {
     auto copy = std::make_unique<DagConvModel>(cfg_);
     copy_params(*this, *copy);
     return copy;
+  }
+
+  std::unique_ptr<IncrementalState> make_incremental_state() const override {
+    return std::make_unique<LayeredIncrementalState>();
+  }
+
+  ForwardOutputs forward_incremental(const CircuitGraph& g, IncrementalState* state,
+                                     const std::vector<int>& old_of_new,
+                                     IncrementalRunStats* stats) const override {
+    std::vector<const DirectedLayer*> sweeps;
+    sweeps.reserve(layers_.size());
+    for (const auto& layer : layers_) sweeps.push_back(&layer);
+    return run_layered_incremental(g, sweeps, regressor_, cfg_, state, old_of_new, stats);
   }
 
   void collect(nn::NamedParams& out, const std::string& prefix) const override {

@@ -3,6 +3,7 @@
 // reversed layer (separate parameters, Sec. III-C), applied T times; queries
 // for the attention aggregator are the states at entry of each directional
 // sweep (h^{t-1} of Eq. 5).
+#include "gnn/incremental.hpp"
 #include "gnn/models.hpp"
 
 namespace dg::gnn {
@@ -46,12 +47,29 @@ class RecurrentDagModel final : public Model {
     return copy;
   }
 
+  std::unique_ptr<IncrementalState> make_incremental_state() const override {
+    return std::make_unique<LayeredIncrementalState>();
+  }
+
+  ForwardOutputs forward_incremental(const CircuitGraph& g, IncrementalState* state,
+                                     const std::vector<int>& old_of_new,
+                                     IncrementalRunStats* stats) const override {
+    std::vector<const DirectedLayer*> sweeps;
+    sweeps.reserve(static_cast<std::size_t>(cfg_.iterations) * (rev_ ? 2 : 1));
+    for (int t = 0; t < cfg_.iterations; ++t) {
+      sweeps.push_back(fwd_.get());
+      if (rev_) sweeps.push_back(rev_.get());
+    }
+    return run_layered_incremental(g, sweeps, regressor_, cfg_, state, old_of_new, stats);
+  }
+
   ForwardOutputs outputs_iterations(const CircuitGraph& g, int iterations) const {
     const Tensor h = embed_iterations(g, iterations);
     return {regressor_.forward(h, g), h};
   }
 
   Tensor embed_iterations(const CircuitGraph& g, int iterations) const {
+    count_full_forward();
     auto states = init_level_states(g, cfg_.dim, cfg_.random_h0, cfg_.seed);
     const auto x_lvl = level_onehot(g);
     // Per-graph constants (pe projection, inv_deg) are identical across the T

@@ -1,8 +1,8 @@
 #include "gnn/model_common.hpp"
 
-#include "nn/init.hpp"
 #include "nn/ops.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -10,6 +10,20 @@
 namespace dg::gnn {
 
 using nn::Tensor;
+
+namespace {
+std::atomic<std::uint64_t> g_full_forwards{0};
+std::atomic<std::uint64_t> g_partial_forwards{0};
+}  // namespace
+
+ForwardCounters forward_counters() {
+  return {g_full_forwards.load(std::memory_order_relaxed),
+          g_partial_forwards.load(std::memory_order_relaxed)};
+}
+
+void count_full_forward() { g_full_forwards.fetch_add(1, std::memory_order_relaxed); }
+
+void count_partial_forward() { g_partial_forwards.fetch_add(1, std::memory_order_relaxed); }
 
 void copy_params(const nn::NamedParams& from, nn::NamedParams& to) {
   if (from.size() != to.size())
@@ -54,6 +68,26 @@ Tensor Regressor::forward(const Tensor& h_full, const CircuitGraph& g) const {
   return out;
 }
 
+void Regressor::forward_rows(const nn::Matrix& h_full, const CircuitGraph& g,
+                             const std::vector<int>& nodes, nn::Matrix& out) const {
+  assert(!nn::grad_enabled());
+  assert(static_cast<int>(heads_.size()) == g.num_types);
+  std::vector<std::vector<int>> by_type(static_cast<std::size_t>(g.num_types));
+  for (int v : nodes) by_type[static_cast<std::size_t>(g.type_id[static_cast<std::size_t>(v)])].push_back(v);
+  for (int t = 0; t < g.num_types; ++t) {
+    const auto& idx = by_type[static_cast<std::size_t>(t)];
+    if (idx.empty()) continue;
+    nn::Matrix rows(static_cast<int>(idx.size()), h_full.cols());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const float* src = h_full.row_ptr(idx[i]);
+      std::copy(src, src + h_full.cols(), rows.row_ptr(static_cast<int>(i)));
+    }
+    const Tensor y = heads_[static_cast<std::size_t>(t)].forward(nn::constant(std::move(rows)));
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      out.at(idx[i], 0) = y.value().at(static_cast<int>(i), 0);
+  }
+}
+
 void Regressor::collect(nn::NamedParams& out, const std::string& prefix) const {
   for (std::size_t t = 0; t < heads_.size(); ++t)
     heads_[t].collect(out, prefix + ".head" + std::to_string(t));
@@ -87,12 +121,48 @@ nn::Matrix padded_onehot_rows(const std::vector<int>& nodes, const CircuitGraph&
   return m;
 }
 
-nn::Matrix random_rows(int rows, int dim, util::Rng& rng) {
-  const float stddev = 1.0F / std::sqrt(static_cast<float>(dim));
-  return nn::normal(rows, dim, stddev, rng);
+constexpr std::uint64_t kH0SeedMix = 0xd1f7a2b3c4e5f607ULL;
+
+/// Seed of the h0 row at (level, row): a SplitMix64-style finalizer over the
+/// model seed and the cell coordinates, so every row owns an independent
+/// stream. Counter-based rather than one sequential stream per graph on
+/// purpose: a delta edit that leaves a node's (level, row) cell in place
+/// keeps its h0 bitwise stable, which is what lets the incremental path
+/// (gnn/incremental.hpp) treat h0 as a per-node property and reuse memoized
+/// states outside the edit's cone. `level` -1 is the whole-graph
+/// (init_full_state) stream. util::Rng applies its own SplitMix64 pass on
+/// top of the returned value.
+std::uint64_t h0_row_seed(std::uint64_t seed, int level, int row) {
+  std::uint64_t z = seed ^ kH0SeedMix;
+  z += 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(level) + 2);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  z += 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(row) + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
 }
 
-constexpr std::uint64_t kH0SeedMix = 0xd1f7a2b3c4e5f607ULL;
+/// Fill one h0 row exactly as nn::normal would fill a 1 x dim matrix from a
+/// fresh Rng(h0_row_seed(...)): stddev * next_normal() per element. The
+/// per-row Rng also means Box-Muller's spare draw never leaks across rows.
+void fill_h0_row(float* dst, int dim, std::uint64_t row_seed) {
+  util::Rng rng(row_seed);
+  const float stddev = 1.0F / std::sqrt(static_cast<float>(dim));
+  for (int c = 0; c < dim; ++c) dst[c] = stddev * rng.next_normal();
+}
+
+nn::Matrix random_level_rows(int level, int rows, int dim, std::uint64_t seed) {
+  nn::Matrix m(rows, dim);
+  for (int r = 0; r < rows; ++r) fill_h0_row(m.row_ptr(r), dim, h0_row_seed(seed, level, r));
+  return m;
+}
 
 /// Per (member, level) contiguous row block within the merged level tensors.
 /// nodes_at_level is sorted by node id and member id ranges are contiguous,
@@ -120,10 +190,10 @@ MemberLevelRows member_level_rows(const CircuitGraph& g) {
   return rows;
 }
 
-/// Random h0 for a batched graph: replay each member's own stream (the exact
-/// sequence of per-level draws init_level_states makes for the member alone)
-/// and scatter the rows into the merged level tensors, so merged inference is
-/// bit-exact with every member running solo.
+/// Random h0 for a batched graph: each member's rows replay the member's own
+/// per-(level, row) cells — the exact values init_level_states draws for the
+/// member alone — scattered into the merged level tensors, so merged
+/// inference is bit-exact with every member running solo.
 std::vector<nn::Matrix> batched_random_level_rows(const CircuitGraph& g, int dim,
                                                   std::uint64_t seed) {
   std::vector<nn::Matrix> mats;
@@ -132,14 +202,12 @@ std::vector<nn::Matrix> batched_random_level_rows(const CircuitGraph& g, int dim
     mats.emplace_back(static_cast<int>(nodes.size()), dim);  // zero-initialized
   const MemberLevelRows rows = member_level_rows(g);
   for (std::size_t m = 0; m < g.members.size(); ++m) {
-    util::Rng rng(seed ^ kH0SeedMix);
     for (int L = 0; L < g.members[m].num_levels; ++L) {
       const std::size_t cell =
           m * static_cast<std::size_t>(g.num_levels) + static_cast<std::size_t>(L);
-      const nn::Matrix block = random_rows(rows.count[cell], dim, rng);
-      for (int r = 0; r < block.rows(); ++r)
-        std::copy(block.row_ptr(r), block.row_ptr(r) + dim,
-                  mats[static_cast<std::size_t>(L)].row_ptr(rows.start[cell] + r));
+      for (int r = 0; r < rows.count[cell]; ++r)
+        fill_h0_row(mats[static_cast<std::size_t>(L)].row_ptr(rows.start[cell] + r), dim,
+                    h0_row_seed(seed, L, r));
     }
   }
   return mats;
@@ -156,9 +224,9 @@ std::vector<Tensor> init_level_states(const CircuitGraph& g, int dim, bool rando
       states.push_back(nn::constant(std::move(m)));
     return states;
   }
-  util::Rng rng(seed ^ kH0SeedMix);
-  for (const auto& nodes : g.nodes_at_level) {
-    nn::Matrix m = random_init ? random_rows(static_cast<int>(nodes.size()), dim, rng)
+  for (int L = 0; L < g.num_levels; ++L) {
+    const auto& nodes = g.nodes_at_level[static_cast<std::size_t>(L)];
+    nn::Matrix m = random_init ? random_level_rows(L, static_cast<int>(nodes.size()), dim, seed)
                                : padded_onehot_rows(nodes, g, dim);
     states.push_back(nn::constant(std::move(m)));
   }
@@ -169,18 +237,15 @@ Tensor init_full_state(const CircuitGraph& g, int dim, bool random_init, std::ui
   if (random_init) {
     if (g.is_batch()) {
       // Member node ids are contiguous, so each member's h0 block lands on
-      // rows [node_offset, node_offset + num_nodes) — replayed per member.
+      // rows [node_offset, node_offset + num_nodes) — replayed per member
+      // from its own (level -1, member-local row) cells.
       nn::Matrix m(g.num_nodes, dim);
-      for (const GraphMember& mem : g.members) {
-        util::Rng rng(seed ^ kH0SeedMix);
-        const nn::Matrix block = random_rows(mem.num_nodes, dim, rng);
-        for (int r = 0; r < block.rows(); ++r)
-          std::copy(block.row_ptr(r), block.row_ptr(r) + dim, m.row_ptr(mem.node_offset + r));
-      }
+      for (const GraphMember& mem : g.members)
+        for (int r = 0; r < mem.num_nodes; ++r)
+          fill_h0_row(m.row_ptr(mem.node_offset + r), dim, h0_row_seed(seed, -1, r));
       return nn::constant(std::move(m));
     }
-    util::Rng rng(seed ^ kH0SeedMix);
-    return nn::constant(random_rows(g.num_nodes, dim, rng));
+    return nn::constant(random_level_rows(-1, g.num_nodes, dim, seed));
   }
   nn::Matrix m(g.num_nodes, dim);
   for (int v = 0; v < g.num_nodes; ++v)
@@ -232,9 +297,7 @@ void DirectedLayer::run(const CircuitGraph& g, std::vector<Tensor>& states,
     scratch->inv_deg.assign(static_cast<std::size_t>(g.num_levels), Tensor());
   }
   const auto process_level = [&](int L) {
-    const LevelBatch& batch = reversed_ ? g.rev[static_cast<std::size_t>(L)]
-                              : use_skip_ ? g.fwd_skip[static_cast<std::size_t>(L)]
-                                          : g.fwd[static_cast<std::size_t>(L)];
+    const LevelBatch& batch = batch_at(g, L);
     if (batch.empty()) return;
     const std::size_t lvl = static_cast<std::size_t>(L);
     const int num_dst = static_cast<int>(g.nodes_at_level[lvl].size());
@@ -281,6 +344,91 @@ void DirectedLayer::run(const CircuitGraph& g, std::vector<Tensor>& states,
     for (int L = 1; L < g.num_levels; ++L) process_level(L);
   } else {
     for (int L = g.num_levels - 2; L >= 0; --L) process_level(L);
+  }
+}
+
+void DirectedLayer::run_level_rows(const CircuitGraph& g, int L, const std::vector<int>& rows,
+                                   const std::vector<nn::Matrix>& cur, const nn::Matrix& entry_L,
+                                   nn::Matrix& out_L) const {
+  assert(!nn::grad_enabled());
+  const std::size_t lvl = static_cast<std::size_t>(L);
+  const LevelBatch& batch = batch_at(g, L);
+  assert(!batch.empty());
+  assert(!batch.masked());
+  const int num_dst = static_cast<int>(g.nodes_at_level[lvl].size());
+  const int dim = entry_L.cols();
+  const int nsel = static_cast<int>(rows.size());
+  if (nsel == 0) return;
+
+  // Rank of each selected destination row (its seg id in the sub-batch).
+  std::vector<int> rank(static_cast<std::size_t>(num_dst), -1);
+  for (int i = 0; i < nsel; ++i) rank[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])] = i;
+
+  // Select the edges feeding selected destinations, flattening the groups'
+  // (src level, src pos) coordinates. Walking edges in stored order keeps
+  // every destination's full message segment in the batch's order — the
+  // property that makes per-segment aggregation bitwise equal to run().
+  std::vector<int> seg_sub;
+  std::vector<int> src_level;
+  std::vector<int> src_pos;
+  std::vector<int> edge_idx;  // original edge index, for pe row gathers
+  int e = 0;
+  for (const auto& group : batch.groups)
+    for (const int pos : group.pos) {
+      const int s = batch.seg[static_cast<std::size_t>(e)];
+      if (rank[static_cast<std::size_t>(s)] >= 0) {
+        seg_sub.push_back(rank[static_cast<std::size_t>(s)]);
+        src_level.push_back(group.level);
+        src_pos.push_back(pos);
+        edge_idx.push_back(e);
+      }
+      ++e;
+    }
+
+  const int nsub = static_cast<int>(seg_sub.size());
+  nn::Matrix h_src(nsub, dim);
+  for (int i = 0; i < nsub; ++i) {
+    const float* src = cur[static_cast<std::size_t>(src_level[static_cast<std::size_t>(i)])]
+                           .row_ptr(src_pos[static_cast<std::size_t>(i)]);
+    std::copy(src, src + dim, h_src.row_ptr(i));
+  }
+  Tensor pe_term;
+  if (batch.pe.rows() > 0) {
+    nn::Matrix pe(nsub, batch.pe.cols());
+    for (int i = 0; i < nsub; ++i) {
+      const float* src = batch.pe.row_ptr(edge_idx[static_cast<std::size_t>(i)]);
+      std::copy(src, src + batch.pe.cols(), pe.row_ptr(i));
+    }
+    pe_term = agg_->project_pe(nn::constant(std::move(pe)));
+  }
+  nn::Matrix inv(nsel, 1);
+  for (int i = 0; i < nsel; ++i)
+    inv.at(i, 0) = batch.inv_deg[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])];
+  nn::Matrix entry_rows(nsel, dim);
+  for (int i = 0; i < nsel; ++i) {
+    const float* src = entry_L.row_ptr(rows[static_cast<std::size_t>(i)]);
+    std::copy(src, src + dim, entry_rows.row_ptr(i));
+  }
+  // run() reads the same entry values twice — as the attention query and as
+  // the GRU hidden — so one constant serves both roles here.
+  const Tensor entry = nn::constant(std::move(entry_rows));
+
+  const Tensor m =
+      agg_->forward(nn::constant(std::move(h_src)), entry, seg_sub, nsel,
+                    nn::constant(std::move(inv)), pe_term);
+  Tensor input = m;
+  if (refeed_) {
+    nn::Matrix x(nsel, g.num_types);
+    for (int i = 0; i < nsel; ++i) {
+      const int v = g.nodes_at_level[lvl][static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])];
+      x.at(i, g.type_id[static_cast<std::size_t>(v)]) = 1.0F;
+    }
+    input = nn::concat_cols(m, nn::constant(std::move(x)));
+  }
+  const Tensor updated = gru_.forward(input, entry);
+  for (int i = 0; i < nsel; ++i) {
+    const float* src = updated.value().row_ptr(i);
+    std::copy(src, src + dim, out_L.row_ptr(rows[static_cast<std::size_t>(i)]));
   }
 }
 

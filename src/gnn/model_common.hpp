@@ -39,6 +39,33 @@ struct ForwardOutputs {
   nn::Tensor embedding;   ///< N x d final node states (== embed)
 };
 
+/// Process-wide structural counters over level-loop propagations — the
+/// assertion device for "exactly one forward" properties (the PR 5 fused
+/// forward, and the incremental session's memo-hit guarantee). Updated with
+/// relaxed atomics: these are counts, not synchronization.
+struct ForwardCounters {
+  std::uint64_t full = 0;     ///< complete level-loop forwards
+  std::uint64_t partial = 0;  ///< cone-limited incremental re-propagations
+};
+ForwardCounters forward_counters();
+void count_full_forward();
+void count_partial_forward();
+
+/// Opaque per-session memo a model keeps between forward_incremental calls
+/// (per-generation level states — see gnn/incremental.hpp). Owned by the
+/// caller (core::IncrementalSession), typed by the model family.
+class IncrementalState {
+ public:
+  virtual ~IncrementalState() = default;
+};
+
+/// What one forward_incremental call actually did.
+struct IncrementalRunStats {
+  bool memo_hit = false;  ///< unchanged generation: outputs replayed, zero propagation
+  bool partial = false;   ///< cone-limited re-propagation (vs full capture run)
+  int dirty_nodes = 0;    ///< rows recomputed in the final sweep of a partial run
+};
+
 class Model {
  public:
   explicit Model(const ModelConfig& cfg) : cfg_(cfg) {}
@@ -88,6 +115,26 @@ class Model {
   /// any parameter mutation (load, training step, copy_params).
   virtual void quantize_bf16();
 
+  /// Families supporting cone-limited re-propagation return a fresh memo
+  /// holder; the base returns nullptr and forward_incremental degrades to
+  /// plain full forwards.
+  virtual std::unique_ptr<IncrementalState> make_incremental_state() const { return nullptr; }
+
+  /// Forward with per-generation memoization for mutating graphs. `state`
+  /// (from make_incremental_state) carries the previous query's per-level
+  /// states; `old_of_new[v]` maps current node ids to the memoized
+  /// generation's ids (-1 = node did not exist then). Must run under
+  /// nn::NoGradGuard. Outputs are bitwise identical to forward_outputs(g);
+  /// the base implementation simply runs the full fused forward.
+  virtual ForwardOutputs forward_incremental(const CircuitGraph& g, IncrementalState* state,
+                                             const std::vector<int>& old_of_new,
+                                             IncrementalRunStats* stats = nullptr) const {
+    (void)state;
+    (void)old_of_new;
+    if (stats != nullptr) *stats = {};
+    return forward_outputs(g);
+  }
+
   nn::NamedParams named_params() const {
     nn::NamedParams p;
     collect(p, "model");
@@ -115,6 +162,15 @@ class Regressor {
 
   /// h_full: N x d node states in node order -> N x 1 predictions.
   nn::Tensor forward(const nn::Tensor& h_full, const CircuitGraph& g) const;
+
+  /// Incremental path: recompute predictions for `nodes` only and write them
+  /// into `out` (N x 1) in place. Bitwise identical per row to forward():
+  /// the heads are per-row MLPs, and the full path's scatter_add-into-zeros
+  /// composition adds only exact zeros to each row's own head output (which
+  /// is sigmoid-bounded, hence strictly positive — never the one value, -0.0,
+  /// that adding +0.0 would rewrite). No-grad only.
+  void forward_rows(const nn::Matrix& h_full, const CircuitGraph& g,
+                    const std::vector<int>& nodes, nn::Matrix& out) const;
 
   void quantize_bf16() {
     for (nn::Mlp& h : heads_) h.quantize_bf16();
@@ -174,6 +230,29 @@ class DirectedLayer {
   void run(const CircuitGraph& g, std::vector<nn::Tensor>& states,
            const std::vector<nn::Tensor>& queries, const std::vector<nn::Tensor>& x_lvl,
            Scratch* scratch = nullptr) const;
+
+  /// Incremental path: recompute ONLY the given destination rows (ascending
+  /// positions within level L) of this layer's level-L update. Sources are
+  /// gathered from `cur` (the sweep's current per-level states); the GRU
+  /// hidden and attention query rows come from `entry_L` (level L's state at
+  /// sweep entry — run() reads the same values through `queries`/`states`).
+  /// Updated rows are written into `out_L` in place; others are untouched.
+  /// Per-row results are bitwise identical to run(): every selected
+  /// destination keeps its complete in-order message segment, and all
+  /// kernels involved are row- or segment-local. Requires a non-empty,
+  /// unmasked batch at L and an active nn::NoGradGuard.
+  void run_level_rows(const CircuitGraph& g, int L, const std::vector<int>& rows,
+                      const std::vector<nn::Matrix>& cur, const nn::Matrix& entry_L,
+                      nn::Matrix& out_L) const;
+
+  bool reversed() const { return reversed_; }
+
+  /// The level-L batch this layer consumes (rev / fwd_skip / fwd).
+  const LevelBatch& batch_at(const CircuitGraph& g, int L) const {
+    return reversed_ ? g.rev[static_cast<std::size_t>(L)]
+           : use_skip_ ? g.fwd_skip[static_cast<std::size_t>(L)]
+                       : g.fwd[static_cast<std::size_t>(L)];
+  }
 
   void collect(nn::NamedParams& out, const std::string& prefix) const;
 

@@ -75,6 +75,14 @@ const KernelBackend& generic_backend();
 /// check CPU support at runtime before installing it (see dispatch.cpp).
 const KernelBackend* avx2_backend();
 
+/// AVX2+FMA fast-math backend: the matmul family contracted to fused
+/// multiply-adds (one rounding per step), every other kernel shared with the
+/// avx2 table. NOT bitwise-equal to the scalar oracle — tolerance-bounded
+/// instead — so it is never picked by default: dispatch installs it over the
+/// avx2 level only when DEEPGATE_FAST_MATH=on (or simd::set_fast_math).
+/// nullptr exactly when avx2_backend() is.
+const KernelBackend* avx2_fma_backend();
+
 // Scalar workers, exported so other backends can reuse them for kernels they
 // do not specialize (reuse keeps those kernels trivially bitwise-equal).
 namespace scalar_workers {

@@ -22,6 +22,21 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+// Fast-math overlay state: -1 = follow DEEPGATE_FAST_MATH, else forced.
+std::atomic<int> g_fast_math_override{-1};
+
+std::string lowered(std::string s);  // defined below
+
+bool fast_math_requested() {
+  const int forced = g_fast_math_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  const std::string value = lowered(util::env_str("DEEPGATE_FAST_MATH", "off"));
+  if (value == "on") return true;
+  if (value != "off" && !value.empty())
+    util::log_warn("DEEPGATE_FAST_MATH: unknown value '", value, "'; using off");
+  return false;
+}
+
 const KernelBackend* table_for(SimdLevel level) {
   switch (level) {
     case SimdLevel::kScalar:
@@ -29,6 +44,9 @@ const KernelBackend* table_for(SimdLevel level) {
     case SimdLevel::kGeneric:
       return &generic_backend();
     case SimdLevel::kAvx2:
+      // The FMA overlay rides the avx2 level: same ISA gate (the CPUID check
+      // required both avx2 and fma bits), strictly opt-in.
+      if (fast_math_requested() && avx2_fma_backend() != nullptr) return avx2_fma_backend();
       return avx2_backend();
   }
   return &scalar_backend();
@@ -109,6 +127,17 @@ const char* level_name(SimdLevel level) {
       return "avx2";
   }
   return "scalar";
+}
+
+bool fast_math() { return fast_math_requested(); }
+
+bool set_fast_math(bool on) {
+  ensure_initialized();
+  const bool previous = fast_math_requested();
+  g_fast_math_override.store(on ? 1 : 0, std::memory_order_relaxed);
+  g_backend.store(table_for(g_level.load(std::memory_order_relaxed)),
+                  std::memory_order_relaxed);
+  return previous;
 }
 
 SimdLevel resolve(const std::string& value) {

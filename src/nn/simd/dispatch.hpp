@@ -24,6 +24,13 @@
 // sigmoid/tanh maps on avx2, which use a polynomial exp and carry a tested
 // absolute-error bound (|simd - scalar| <= 2e-6 on the transcendental maps).
 //
+// DEEPGATE_FAST_MATH = on | off (default off) overlays the avx2 level with
+// the avx2_fma backend: the matmul family contracts mul+add into FMAs (one
+// rounding per step), trading the bitwise contract for a tolerance bound
+// (see tests/kernel_dispatch_test.cpp). Strictly opt-in; it never affects
+// the scalar/generic levels, and resolves to plain avx2 when the build or
+// CPU lacks the TU.
+//
 // DEEPGATE_PRECISION = fp32 | bf16 selects the default Engine inference
 // precision (see core/deepgate.hpp); it is resolved here so the knob lives
 // next to DEEPGATE_SIMD.
@@ -62,6 +69,16 @@ const char* level_name(SimdLevel level);
 /// Resolve a DEEPGATE_SIMD value ("scalar" | "generic" | "avx2" | "native";
 /// unknown values resolve to native with a warning).
 SimdLevel resolve(const std::string& value);
+
+/// Is the fast-math (FMA-contracted) overlay currently requested?
+/// (DEEPGATE_FAST_MATH, unless overridden by set_fast_math.) The overlay
+/// only takes effect at the avx2 level on builds/CPUs that have it.
+bool fast_math();
+
+/// Force the fast-math overlay on/off (test/bench knob; same in-flight
+/// caveat as set_level). Re-publishes the active backend table. Returns the
+/// previous setting so callers can restore it.
+bool set_fast_math(bool on);
 
 }  // namespace simd
 

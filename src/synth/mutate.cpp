@@ -1,0 +1,75 @@
+#include "synth/mutate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dg::synth {
+
+namespace {
+
+/// Sample `count` distinct node ids, excluding `exclude` (-1 = none).
+std::vector<int> sample_nodes(const MutationContext& ctx, util::Rng& rng, int count,
+                              int exclude) {
+  std::vector<int> picked;
+  const int avail = ctx.num_nodes - (exclude >= 0 ? 1 : 0);
+  count = std::min(count, avail);
+  while (static_cast<int>(picked.size()) < count) {
+    const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ctx.num_nodes)));
+    if (v == exclude) continue;
+    if (std::find(picked.begin(), picked.end(), v) != picked.end()) continue;
+    picked.push_back(v);
+  }
+  return picked;
+}
+
+Mutation plan_insert(const MutationContext& ctx, util::Rng& rng) {
+  Mutation m;
+  m.kind = Mutation::Kind::kInsert;
+  m.type_id = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ctx.num_types)));
+  // 0 fanins = a fresh primary input; otherwise a 1- or 2-input gate over
+  // existing nodes. Inserts can never create a cycle.
+  const int arity = static_cast<int>(rng.next_below(3));
+  if (arity > 0 && ctx.num_nodes > 0) m.fanins = sample_nodes(ctx, rng, arity, -1);
+  return m;
+}
+
+}  // namespace
+
+Mutation random_mutation(const MutationContext& ctx, util::Rng& rng) {
+  assert(ctx.type_id.size() == static_cast<std::size_t>(ctx.num_nodes));
+  assert(ctx.level.size() == static_cast<std::size_t>(ctx.num_nodes));
+  assert(ctx.fanout_count.size() == static_cast<std::size_t>(ctx.num_nodes));
+  if (ctx.num_nodes == 0) return plan_insert(ctx, rng);
+
+  const std::uint64_t roll = rng.next_below(10);
+  if (roll < 3) return plan_insert(ctx, rng);
+
+  if (roll < 5) {
+    // Delete: only fanout-free nodes are eligible (and keep at least one
+    // node alive so the session graph never empties).
+    std::vector<int> sinks;
+    for (int v = 0; v < ctx.num_nodes; ++v)
+      if (ctx.fanout_count[static_cast<std::size_t>(v)] == 0) sinks.push_back(v);
+    if (!sinks.empty() && ctx.num_nodes > 1) {
+      Mutation m;
+      m.kind = Mutation::Kind::kDelete;
+      m.node = sinks[rng.next_below(sinks.size())];
+      return m;
+    }
+    return plan_insert(ctx, rng);
+  }
+
+  // Rewire: fresh 1- or 2-input driver set for a random node. Targeting the
+  // node's own fan-out cone creates a cycle; the planner does not track
+  // cones, so the applier must treat that rejection as a skipped step.
+  Mutation m;
+  m.kind = Mutation::Kind::kRewire;
+  m.node = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ctx.num_nodes)));
+  if (ctx.num_nodes > 1) {
+    const int arity = 1 + static_cast<int>(rng.next_below(2));
+    m.fanins = sample_nodes(ctx, rng, arity, m.node);
+  }
+  return m;
+}
+
+}  // namespace dg::synth

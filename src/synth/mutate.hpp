@@ -1,0 +1,42 @@
+// Random circuit mutations — the edit stream behind the incremental-inference
+// fuzz oracle (tests/incremental_property_test.cpp) and the mutation bench.
+//
+// The planner is deliberately decoupled from gnn::CircuitGraph: it reads a
+// plain structural summary (types, levels, fanout counts) and emits abstract
+// edits, so it can drive any graph representation that supports node
+// insert / delete / rewire. Cycle-creating rewires are NOT pre-filtered —
+// the applier is expected to try the edit and treat a rejection as a skipped
+// step (VeriGen-style: throw edits at the wall, keep the ones that stick).
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <vector>
+
+namespace dg::synth {
+
+struct Mutation {
+  enum class Kind { kInsert, kDelete, kRewire };
+  Kind kind = Kind::kInsert;
+  int node = -1;            ///< target (delete / rewire)
+  int type_id = 0;          ///< gate type (insert)
+  std::vector<int> fanins;  ///< driver set (insert / rewire)
+};
+
+/// Structural summary the planner draws from. All vectors are indexed by the
+/// CURRENT node ids and must be num_nodes long.
+struct MutationContext {
+  int num_nodes = 0;
+  int num_types = 3;
+  std::vector<int> type_id;
+  std::vector<int> level;
+  std::vector<int> fanout_count;
+};
+
+/// Draw one random edit. Deletes target only fanout-free nodes (the only
+/// kind the delta layer accepts) and fall back to an insert when every node
+/// still drives something; rewires may still be rejected by the applier's
+/// cycle guard. Deterministic in (ctx, rng state).
+Mutation random_mutation(const MutationContext& ctx, util::Rng& rng);
+
+}  // namespace dg::synth

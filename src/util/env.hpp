@@ -20,6 +20,17 @@
 //   DEEPGATE_ARENA = on | off                (no-grad forward buffer arena,
 //                                             default on — nn/arena.hpp;
 //                                             off = plain heap per forward)
+//   DEEPGATE_FAST_MATH = on | off            (opt-in FMA-contracted avx2
+//                                             matmul kernels; default off =
+//                                             bitwise-vs-scalar contract —
+//                                             nn/simd/dispatch.hpp)
+//   DEEPGATE_INCREMENTAL_MEMO = on | off     (per-generation level-state memo
+//                                             behind IncrementalSession,
+//                                             default on — gnn/incremental.hpp)
+//   DEEPGATE_INCREMENTAL_MEMO_MB = <double>  (memo capacity per session in
+//                                             MiB, default 512; over-cap
+//                                             graphs fall back to full
+//                                             forwards with output caching)
 #pragma once
 
 #include <cstdint>
@@ -43,6 +54,11 @@ std::uint64_t env_seed(std::uint64_t fallback = 1);
 /// Generic integer env lookup. The whole value must parse as a base-10
 /// integer; partially-numeric strings ("4x") warn and return `fallback`.
 long long env_int(const std::string& name, long long fallback);
+
+/// Generic floating-point env lookup with the same strict-parse contract as
+/// env_int: the whole value must parse ("0.5x" or "" warn and return
+/// `fallback`).
+double env_double(const std::string& name, double fallback);
 
 /// Generic string env lookup.
 std::string env_str(const std::string& name, const std::string& fallback = {});

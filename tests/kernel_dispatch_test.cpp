@@ -28,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -452,6 +453,149 @@ TEST(KernelDispatch, EngineBf16AccuracyAndCloneParity) {
   const Matrix clone_pred = clone->predict(g).value();
   for (std::size_t i = 0; i < p_bf16.size(); ++i)
     EXPECT_EQ(p_bf16[i], clone_pred.at(static_cast<int>(i), 0)) << i;
+}
+
+/// RAII: force the fast-math overlay, restore the previous setting on exit.
+class ScopedFastMath {
+ public:
+  explicit ScopedFastMath(bool on) : prev_(simd::set_fast_math(on)) {}
+  ~ScopedFastMath() { simd::set_fast_math(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// The DEEPGATE_FAST_MATH overlay must be strictly opt-in, ride the avx2
+// level only, and leave scalar/generic untouched.
+TEST(KernelDispatch, FastMathOverlayInstallsOnlyOnAvx2) {
+  const char* env = std::getenv("DEEPGATE_FAST_MATH");
+  if (env == nullptr || std::string(env) != "on") {
+    EXPECT_FALSE(simd::fast_math()) << "fast math must default to off";
+  }
+
+  ScopedFastMath fm(true);
+  EXPECT_TRUE(simd::fast_math());
+  {
+    ScopedLevel scalar(SimdLevel::kScalar);
+    EXPECT_STREQ("scalar", backend().name);
+  }
+  {
+    ScopedLevel generic(SimdLevel::kGeneric);
+    EXPECT_STREQ("generic", backend().name);
+  }
+  if (simd::available(SimdLevel::kAvx2)) {
+    ScopedLevel avx2(SimdLevel::kAvx2);
+    EXPECT_STREQ("avx2_fma", backend().name);
+    // Toggling off re-publishes the bitwise avx2 table for the same level.
+    ScopedFastMath off(false);
+    EXPECT_STREQ("avx2", backend().name);
+  }
+}
+
+// The fast-math matmul family carries a tolerance bound instead of the
+// bitwise contract: one FMA rounding per mul+add step, so the deviation from
+// the scalar oracle is a few ulps of the accumulated magnitude. The
+// zero-skip semantics (exact zeros skipped, Inf/NaN in skipped rows never
+// leak) must survive unchanged — they are value semantics, not rounding.
+TEST(KernelDispatch, FastMathMatmulFamilyWithinTolerance) {
+  if (!simd::available(SimdLevel::kAvx2)) GTEST_SKIP() << "no avx2 on this build/CPU";
+
+  const auto expect_close = [](const Matrix& got, const Matrix& want, const std::string& what) {
+    ASSERT_TRUE(got.same_shape(want)) << what;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      const float w = want.data()[i];
+      EXPECT_NEAR(w, got.data()[i], 1e-4F * (1.0F + std::abs(w))) << what << " i=" << i;
+    }
+  };
+
+  util::Rng rng(707);
+  // Includes n == 1 columns (the matvec_rows path) beyond kShapes' coverage.
+  const Shape fma_shapes[] = {{1, 1, 1}, {7, 13, 17}, {5, 64, 96}, {9, 13, 1},
+                              {2, 10, 100}, {33, 24, 1}};
+  for (const Shape& s : fma_shapes) {
+    const Matrix a = salted(s.m, s.k, rng, 53);
+    const Matrix b = normal(s.k, s.n, 1.0F, rng);
+    const Matrix at = normal(s.k, s.m, 1.0F, rng);
+    const Matrix c0 = normal(s.m, s.n, 1.0F, rng);
+    const Bf16Matrix wq = to_bf16(b);
+
+    Matrix want, want_acc, want_tn, want_bf16, want_axpy;
+    {
+      ScopedLevel scalar(SimdLevel::kScalar);
+      want = matmul(a, b);
+      want_acc = c0;
+      matmul_acc(want_acc, a, b);
+      want_tn = matmul_tn(at, b);
+      want_bf16 = matmul_bf16(a, wq);
+      want_axpy = c0;
+      axpy(want_axpy, -0.3F, c0);
+    }
+
+    ScopedLevel avx2(SimdLevel::kAvx2);
+    ScopedFastMath fm(true);
+    const std::string tag = std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+                            std::to_string(s.n);
+    expect_close(matmul(a, b), want, "fma matmul " + tag);
+    Matrix acc_res = c0;
+    matmul_acc(acc_res, a, b);
+    expect_close(acc_res, want_acc, "fma matmul_acc " + tag);
+    expect_close(matmul_tn(at, b), want_tn, "fma matmul_tn " + tag);
+    expect_close(matmul_bf16(a, wq), want_bf16, "fma matmul_bf16 " + tag);
+    Matrix axpy_res = c0;
+    axpy(axpy_res, -0.3F, c0);
+    expect_close(axpy_res, want_axpy, "fma axpy " + tag);
+  }
+
+  // Zero-skip property under FMA contraction.
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0F;
+  a.at(0, 1) = -0.0F;
+  a.at(1, 0) = 1.0F;
+  a.at(1, 1) = 0.0F;
+  Matrix b(2, 9);
+  for (int j = 0; j < 9; ++j) {
+    b.at(0, j) = 2.0F + static_cast<float>(j);
+    b.at(1, j) = (j % 2 == 0) ? kInf : kNan;
+  }
+  ScopedLevel avx2(SimdLevel::kAvx2);
+  ScopedFastMath fm(true);
+  const Matrix c = matmul(a, b);
+  for (int j = 0; j < 9; ++j) {
+    EXPECT_EQ(0.0F, c.at(0, j)) << "all-zero A row must stay exact zero";
+    EXPECT_FALSE(std::signbit(c.at(0, j)));
+    EXPECT_EQ(2.0F + static_cast<float>(j), c.at(1, j))
+        << "Inf/NaN in the skipped B row must not leak";
+  }
+}
+
+// End-to-end: an Engine forward under the fast-math overlay stays within a
+// small tolerance of the bitwise avx2 path on [0, 1] probability outputs.
+TEST(KernelDispatch, FastMathEnginePredictionsWithinTolerance) {
+  if (!simd::available(SimdLevel::kAvx2)) GTEST_SKIP() << "no avx2 on this build/CPU";
+
+  const deepgate::CircuitGraph g = deepgate::prepare(dg::data::gen_squarer(4), 2000, 9);
+  deepgate::Options opts;
+  opts.model.dim = 12;
+  opts.model.iterations = 3;
+  opts.model.mlp_hidden = 8;
+  opts.model.seed = 11;
+  const deepgate::Engine engine(opts);
+
+  ScopedLevel avx2(SimdLevel::kAvx2);
+  std::vector<float> ref, fast;
+  {
+    ScopedFastMath off(false);
+    ref = engine.predict_probabilities(g);
+  }
+  {
+    ScopedFastMath on(true);
+    fast = engine.predict_probabilities(g);
+  }
+  ASSERT_EQ(ref.size(), fast.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(ref[i], fast[i], 1e-4F) << i;
 }
 
 }  // namespace

@@ -17,6 +17,12 @@ Rows are keyed by their "mode" field and compared on --metric
 (higher-is-better; rows missing the key or the metric are skipped). A row
 regresses when current < baseline * (1 - threshold).
 
+New benches never fail the gate: a report or mode present in the current run
+but absent from the baseline (a bench added by the change under test) only
+warns and is skipped from the regression check — its rows still appear in
+the step-summary table, marked "new", so the first data point is visible.
+Only rows with a baseline counterpart can regress.
+
 Exit codes: 1 when --strict and at least one row regressed; 0 otherwise —
 including when the baseline path is missing entirely (first run on a branch,
 expired artifact), which only warns: a trend gate must not fail the lane
@@ -93,7 +99,8 @@ def compare_report(rel, base_doc, cur_doc, metric, threshold, table):
         return regressions
     for mode in cur_rows:
         if mode not in base_rows:
-            print(f"  {rel} [{mode}]: new mode (no baseline row)")
+            warn(f"{rel} [{mode}]: new mode (no baseline row); "
+                 "skipped from gate")
             table.append((rel, mode, None, cur_rows[mode].get(metric), "new"))
             continue
         base = base_rows[mode].get(metric)
@@ -188,7 +195,14 @@ def main() -> int:
     compared = 0
     for rel, cur_path in sorted(cur_reports.items()):
         if rel not in base_reports:
-            print(f"  {rel}: new report (no baseline file)")
+            # A bench added by the change under test: no baseline to gate
+            # against, so it can't regress — but surface its first rows in
+            # the summary table instead of dropping them.
+            warn(f"{rel}: new report (no baseline file); skipped from gate")
+            cur_doc = load_report(cur_path)
+            if cur_doc is not None:
+                for mode, row in rows_by_mode(cur_doc).items():
+                    table.append((rel, mode, None, row.get(args.metric), "new"))
             continue
         base_doc = load_report(base_reports[rel])
         cur_doc = load_report(cur_path)
