@@ -14,6 +14,7 @@
 #include "gnn/metrics.hpp"
 #include "gnn/models.hpp"
 #include "gnn/trainer.hpp"
+#include "obs/obs.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -85,8 +86,12 @@ struct JsonRecord {
   }
 };
 
-/// Write `{"bench": name, "scale": ..., "seed": ..., "results": [records]}`
-/// to ctx.json_path. No-op (returns true) when no path is configured.
+/// Write `{"bench": name, "scale": ..., "seed": ..., "results": [records],
+/// "metrics": {...}}` to ctx.json_path. The trailing `metrics` key is the
+/// obs::snapshot() at report time (cache hit rates, arena allocs, lane
+/// utilization, latency histograms) so tools/bench_compare.py can trend
+/// observability fields alongside throughput. No-op (returns true) when no
+/// path is configured.
 inline bool write_json_report(const Context& ctx, const std::string& name,
                               const std::vector<JsonRecord>& records) {
   if (ctx.json_path.empty()) return true;
@@ -107,7 +112,7 @@ inline bool write_json_report(const Context& ctx, const std::string& name,
     }
     out << '}';
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n  \"metrics\": " << dg::obs::snapshot().to_json() << "\n}\n";
   out.flush();
   return out.good();
 }

@@ -19,6 +19,16 @@
 //                path fixed: embedding-bearing requests now cost ONE
 //                level-loop forward (previously predict + embed ran two), so
 //                this mode should track serve_burst instead of halving it.
+//   serve_burst_nometrics
+//                serve_burst again with DEEPGATE_METRICS and DEEPGATE_TRACE
+//                forced off — the observability-overhead control. The served
+//                outputs must stay bitwise identical, and the nodes/sec gap
+//                vs serve_burst is reported (warned about above 3%).
+//
+// With --trace out.json (or DEEPGATE_TRACE=on) the serve_burst round runs
+// traced; the span ring is validated (admission/fulfill spans for every
+// request, each linked to a forward span) and exported as Chrome trace-event
+// JSON loadable in chrome://tracing or Perfetto.
 //
 // Every served probability vector (and embedding, in the embed mode) is
 // cross-checked bitwise against the direct Engine single-graph path. Honors
@@ -34,7 +44,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <set>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -69,6 +83,14 @@ int main(int argc, char** argv) {
   using namespace dg;
   bench::Context ctx = bench::make_context(argc, argv);
   bench::print_banner("micro_serve_loop: async serving loop vs offline BatchRunner", ctx);
+
+  // --trace out.json: force tracing on and export the serve_burst span ring
+  // as Chrome trace-event JSON (CI validates it with `python3 -m json.tool`).
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+  if (!trace_path.empty()) obs::trace_set_enabled(true);
+  const bool tracing = obs::trace_enabled();
 
   const Workload wl = workload_for(ctx.scale);
   const int threads = util::default_num_threads();
@@ -150,6 +172,21 @@ int main(int argc, char** argv) {
     record("offline", t.seconds(), {}, 0, 0, runner.stats().batches);
   }
 
+  // Fulfillment resolves the future before the lane folds its batch into
+  // Stats, so a stats() read right after the last get() can lag by one batch.
+  // Wait for the balance invariant (submitted == served+cancelled+failed) to
+  // settle before reading counters for reporting/assertions.
+  const auto settled_stats = [](deepgate::serve::Server& server) {
+    auto stats = server.stats();
+    for (int spin = 0;
+         spin < 2000 && stats.served + stats.cancelled + stats.failed < stats.submitted;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      stats = server.stats();
+    }
+    return stats;
+  };
+
   deepgate::serve::ServerOptions sopts = deepgate::serve::ServerOptions::from_env();
   sopts.lanes = threads;
   sopts.queue_capacity = static_cast<std::size_t>(total_requests) + 1;
@@ -160,6 +197,9 @@ int main(int argc, char** argv) {
 
   // -- serve_burst: closed bursts through the admission queue -----------------
   double burst_gps;
+  double burst_nps = 0.0;
+  std::uint64_t metrics_served = 0;  // served by metrics-on servers (burst/embed/open)
+  if (tracing) obs::trace_clear();   // the exported/validated ring covers serve_burst only
   {
     auto server = deepgate::serve::start(engine, sopts);
     std::vector<double> latencies;
@@ -177,9 +217,58 @@ int main(int argc, char** argv) {
     }
     const double seconds = t.seconds();
     burst_gps = static_cast<double>(total_requests) / seconds;
-    const auto stats = server->stats();
+    burst_nps = static_cast<double>(round_nodes) * wl.reps / seconds;
+    const auto stats = settled_stats(*server);
+    metrics_served += stats.served;
     record("serve_burst", seconds, latencies, stats.merge_cache_hits, stats.merge_cache_misses,
            stats.batches);
+  }
+
+  // -- trace coverage: every burst request must show admission -> fulfill
+  // spans linked (via ref) to the forward span of the batch that served it.
+  if (tracing) {
+    const obs::TraceSinkStats sink = obs::trace_sink_stats();
+    if (sink.dropped == 0) {
+      std::size_t admissions = 0;
+      std::size_t fulfills = 0;
+      std::size_t window_closes = 0;
+      std::set<std::uint64_t> forward_ids;
+      std::vector<std::uint64_t> fulfill_refs;
+      for (const obs::TraceEvent& e : obs::trace_events()) {
+        const std::string_view name = e.name;
+        if (name == "serve.admission") ++admissions;
+        else if (name == "serve.fulfill") { ++fulfills; fulfill_refs.push_back(e.ref); }
+        else if (name == "serve.forward") forward_ids.insert(e.id);
+        else if (name == "serve.window_close") ++window_closes;
+      }
+      bool linked = true;
+      for (const std::uint64_t ref : fulfill_refs)
+        linked = linked && ref != 0 && forward_ids.count(ref) != 0;
+      if (admissions != static_cast<std::size_t>(total_requests) ||
+          fulfills != static_cast<std::size_t>(total_requests) || window_closes == 0 ||
+          !linked) {
+        std::fprintf(stderr,
+                     "FAIL: trace coverage: admission=%zu fulfill=%zu window_close=%zu "
+                     "linked=%d (want %d/%d/>=1/1)\n",
+                     admissions, fulfills, window_closes, linked ? 1 : 0, total_requests,
+                     total_requests);
+        return 1;
+      }
+      std::printf("trace: %zu admission + %zu fulfill spans over %zu batches, "
+                  "%zu window closes — all fulfills linked to a forward span\n",
+                  admissions, fulfills, forward_ids.size(), window_closes);
+    } else {
+      std::printf("trace: ring overwrote %llu events (DEEPGATE_TRACE_BUF too small); "
+                  "skipping coverage check\n",
+                  static_cast<unsigned long long>(sink.dropped));
+    }
+    if (!trace_path.empty()) {
+      if (!obs::dump_trace(trace_path)) {
+        std::fprintf(stderr, "FAIL: cannot write trace to %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace json: %s\n", trace_path.c_str());
+    }
   }
 
   // -- serve_burst_embed: closed bursts, every request wants its embedding ----
@@ -209,9 +298,41 @@ int main(int argc, char** argv) {
       }
     }
     const double seconds = t.seconds();
-    const auto stats = server->stats();
+    const auto stats = settled_stats(*server);
+    metrics_served += stats.served;
     record("serve_burst_embed", seconds, latencies, stats.merge_cache_hits,
            stats.merge_cache_misses, stats.batches);
+  }
+
+  // -- serve_burst_nometrics: the observability-overhead control --------------
+  double nometrics_nps = 0.0;
+  {
+    const bool metrics_prev = obs::metrics_enabled();
+    obs::metrics_set_enabled(false);
+    obs::trace_set_enabled(false);
+    {
+      auto server = deepgate::serve::start(engine, sopts);
+      std::vector<double> latencies;
+      latencies.reserve(static_cast<std::size_t>(total_requests));
+      util::Timer t;
+      for (int rep = 0; rep < wl.reps; ++rep) {
+        std::vector<std::future<deepgate::serve::Response>> futures;
+        futures.reserve(ptrs.size());
+        for (const auto* g : ptrs) futures.push_back(server->submit({g}));
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          deepgate::serve::Response r = futures[i].get();
+          check(i, r.probabilities);  // bitwise identical with metrics off
+          latencies.push_back(r.latency_seconds);
+        }
+      }
+      const double seconds = t.seconds();
+      nometrics_nps = static_cast<double>(round_nodes) * wl.reps / seconds;
+      const auto stats = settled_stats(*server);
+      record("serve_burst_nometrics", seconds, latencies, stats.merge_cache_hits,
+             stats.merge_cache_misses, stats.batches);
+    }
+    obs::metrics_set_enabled(metrics_prev);
+    obs::trace_set_enabled(tracing);
   }
 
   // -- serve_open: open-loop fixed-rate arrivals at ~70% of burst capacity ----
@@ -238,7 +359,38 @@ int main(int argc, char** argv) {
       latencies.push_back(r.latency_seconds);
     }
     const double seconds = t.seconds();
-    const auto stats = server->stats();
+    const auto stats = settled_stats(*server);
+    metrics_served += stats.served;
+
+    // -- snapshot acceptance: while the server is live, obs::snapshot() must
+    // report its lane-utilization gauge, the derived cache hit rates, and a
+    // serve-latency histogram whose count equals every request served by the
+    // metrics-on servers (the nometrics round records nothing).
+    if (obs::metrics_enabled()) {
+      const obs::Snapshot snap = obs::snapshot();
+      const auto has_gauge = [&](const char* name) {
+        for (const auto& [n, v] : snap.gauges)
+          if (n == name) return true;
+        return false;
+      };
+      const obs::HistogramSnapshot* lat = snap.find_histogram("serve.latency_seconds");
+      const bool count_ok = lat != nullptr && lat->count == metrics_served;
+      const bool gauges_ok = has_gauge("serve.lanes.utilization") &&
+                             has_gauge("gnn.merge_cache.hit_rate") &&
+                             has_gauge("util.pool.utilization");
+      if (!count_ok || !gauges_ok) {
+        std::fprintf(stderr,
+                     "FAIL: obs snapshot: latency count=%llu want %llu, gauges_ok=%d\n",
+                     static_cast<unsigned long long>(lat == nullptr ? 0 : lat->count),
+                     static_cast<unsigned long long>(metrics_served), gauges_ok ? 1 : 0);
+        return 1;
+      }
+      std::printf("obs snapshot: serve.latency_seconds count=%llu (== served), "
+                  "merge_cache hit_rate=%.3f, serve lanes util=%.3f\n",
+                  static_cast<unsigned long long>(lat->count),
+                  snap.gauge_value("gnn.merge_cache.hit_rate"),
+                  snap.gauge_value("serve.lanes.utilization"));
+    }
     record("serve_open", seconds, latencies, stats.merge_cache_hits, stats.merge_cache_misses,
            stats.batches);
     std::printf("%s\n", table.render().c_str());
@@ -251,7 +403,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.close_drain));
   }
 
-  std::printf("equivalence: served == single-graph path on all %d requests x 4 modes "
+  if (nometrics_nps > 0.0 && burst_nps > 0.0) {
+    const double overhead_pct = (nometrics_nps - burst_nps) / nometrics_nps * 100.0;
+    std::printf("observability overhead: serve_burst %.0f nodes/s with metrics%s vs %.0f "
+                "without -> %.2f%%%s\n",
+                burst_nps, tracing ? "+trace" : "", nometrics_nps, overhead_pct,
+                overhead_pct > 3.0 ? "  (WARN: above the 3% budget)" : "");
+  }
+  std::printf("equivalence: served == single-graph path on all %d requests x 5 modes "
               "(probabilities + embeddings)\n", total_requests);
   if (!bench::write_json_report(ctx, "micro_serve_loop", records)) return 1;
   if (!ctx.json_path.empty()) std::printf("json report: %s\n", ctx.json_path.c_str());

@@ -26,6 +26,7 @@
 #include "gnn/trainer.hpp"
 #include "netlist/netlist.hpp"
 #include "nn/simd/dispatch.hpp"
+#include "obs/obs.hpp"
 
 #include <memory>
 #include <string>
@@ -38,6 +39,10 @@ using ModelConfig = dg::gnn::ModelConfig;
 using TrainConfig = dg::gnn::TrainConfig;
 using ModelSpec = dg::gnn::ModelSpec;
 using Precision = dg::nn::kern::Precision;
+
+/// Observability facade: deepgate::obs::snapshot() / ::dump_trace() — see
+/// obs/obs.hpp. Metrics and tracing are bitwise-neutral on every output.
+namespace obs = ::dg::obs;
 
 struct Options {
   ModelConfig model;       ///< architecture hyperparameters

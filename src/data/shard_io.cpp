@@ -1,5 +1,6 @@
 #include "data/shard_io.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/env.hpp"
 #include "util/hash.hpp"
@@ -13,6 +14,11 @@
 
 namespace dg::data {
 namespace {
+
+obs::Counter& bytes_read_counter() {
+  static obs::Counter& c = obs::counter("data.shard_io.read_bytes");
+  return c;
+}
 
 constexpr char kMagic[4] = {'D', 'G', 'S', 'H'};
 constexpr std::size_t kMagicAndVersion = 8;  // magic + u32 version
@@ -77,6 +83,8 @@ bool write_shard(const std::string& path, std::uint64_t config_hash, std::uint64
     std::filesystem::remove(tmp, ec);
     return false;
   }
+  static obs::Counter& written = obs::counter("data.shard_io.write_bytes");
+  written.add(buf.size());
   return true;
 }
 
@@ -89,6 +97,7 @@ ShardError ShardReader::open(const std::string& path) {
   in.seekg(0);
   buf_.resize(static_cast<std::size_t>(size));
   if (!in.read(reinterpret_cast<char*>(buf_.data()), size)) return error_ = ShardError::kIo;
+  bytes_read_counter().add(buf_.size());
 
   // Smallest legal file: magic+version, header, checksum.
   if (buf_.size() < kMagicAndVersion + 24 + 8) return error_ = ShardError::kCorrupt;
@@ -162,23 +171,35 @@ std::string ShardCache::shard_path(std::uint32_t index) const {
 }
 
 bool ShardCache::load(std::uint32_t index, std::vector<ShardRecord>& out) const {
+  static obs::Counter& hits = obs::counter("data.shard_cache.hits");
+  static obs::Counter& misses = obs::counter("data.shard_cache.misses");
+  // A regenerating producer can hit these warnings once per shard per epoch;
+  // rate-limit so a cold or corrupted cache dir doesn't flood benches.
+  static util::LogRateLimit reject_limit(1.0);
+  static util::LogRateLimit mismatch_limit(1.0);
   const std::string path = shard_path(index);
   std::error_code ec;
-  if (!std::filesystem::exists(path, ec)) return false;
+  if (!std::filesystem::exists(path, ec)) {
+    misses.add();
+    return false;
+  }
   ShardHeader header;
   const ShardError err = ShardReader::read_all(path, header, out);
   if (err != ShardError::kNone) {
-    util::log_warn("shard cache: ", path, " rejected (", shard_error_name(err),
-                   "), regenerating");
+    util::log_warn_limited(reject_limit, "shard cache: ", path, " rejected (",
+                           shard_error_name(err), "), regenerating");
     out.clear();
+    misses.add();
     return false;
   }
   if (header.config_hash != config_hash_ || header.seed != seed_ ||
       header.shard_index != index) {
-    util::log_warn("shard cache: ", path, " key mismatch, regenerating");
+    util::log_warn_limited(mismatch_limit, "shard cache: ", path, " key mismatch, regenerating");
     out.clear();
+    misses.add();
     return false;
   }
+  hits.add();
   return true;
 }
 
@@ -217,10 +238,14 @@ ShardStream::Loaded ShardStream::load_shard(std::size_t index) const {
   std::vector<ShardRecord> records;
   const ShardError err = ShardReader::read_all(paths_[index], header, records);
   if (err != ShardError::kNone) {
-    util::log_warn("shard stream: skipping ", paths_[index], " (", shard_error_name(err), ")");
+    static util::LogRateLimit skip_limit(1.0);
+    util::log_warn_limited(skip_limit, "shard stream: skipping ", paths_[index], " (",
+                           shard_error_name(err), ")");
     return loaded;
   }
   ++disk_loads_;
+  static obs::Counter& disk_counter = obs::counter("data.shard_stream.disk_loads");
+  disk_counter.add();
   loaded.ok = true;
   loaded.graphs.reserve(records.size());
   for (auto& rec : records) loaded.graphs.push_back(std::move(rec.graph));
@@ -251,6 +276,8 @@ bool ShardStream::next(std::vector<gnn::CircuitGraph>& out) {
       out = it->second;
       lru_.splice(lru_.begin(), lru_, it);
       ++lru_hits_;
+      static obs::Counter& lru_counter = obs::counter("data.shard_stream.lru_hits");
+      lru_counter.add();
       hit = true;
       break;
     }
@@ -264,7 +291,11 @@ bool ShardStream::next(std::vector<gnn::CircuitGraph>& out) {
     Loaded loaded;
     if (pending_.valid() && pending_index_ == index) {
       loaded = pending_.get();
-      if (loaded.ok) ++prefetch_hits_;
+      if (loaded.ok) {
+        ++prefetch_hits_;
+        static obs::Counter& prefetch_counter = obs::counter("data.shard_stream.prefetch_hits");
+        prefetch_counter.add();
+      }
     } else {
       drop_pending();
       loaded = load_shard(index);

@@ -1,6 +1,7 @@
 #include "gnn/incremental.hpp"
 
 #include "nn/ops.hpp"
+#include "obs/metrics.hpp"
 #include "util/env.hpp"
 
 #include <atomic>
@@ -316,8 +317,13 @@ ForwardOutputs run_layered_incremental(const CircuitGraph& g,
       *stats = {};
       stats->memo_hit = true;
     }
+    static obs::Counter& memo_hits = obs::counter("gnn.memo.hits");
+    memo_hits.add();
     return {nn::constant(memo.prediction), nn::constant(memo.embedding)};
   }
+  // Memo enabled but the generation moved on: some propagation is required.
+  static obs::Counter& memo_misses = obs::counter("gnn.memo.misses");
+  memo_misses.add();
 
   const bool can_partial = memo.valid && memo.has_checkpoints &&
                            memo.checkpoints.size() == sweeps.size() + 1 &&

@@ -1,8 +1,19 @@
 #include "gnn/merge_cache.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/hash.hpp"
 
 namespace dg::gnn {
+
+namespace {
+// Process-wide roll-up across every MergeCache instance (serve lanes,
+// BatchRunner, Engine::evaluate); per-instance stats() stays exact.
+void note_lookup(bool hit) {
+  static obs::Counter& hits = obs::counter("gnn.merge_cache.hits");
+  static obs::Counter& misses = obs::counter("gnn.merge_cache.misses");
+  (hit ? hits : misses).add();
+}
+}  // namespace
 
 MergeCache::MergeCache(std::size_t capacity) : capacity_(capacity), cache_(capacity) {}
 
@@ -38,12 +49,14 @@ std::uint64_t MergeCache::signature(const std::vector<const CircuitGraph*>& part
 }
 
 std::shared_ptr<const CircuitGraph> MergeCache::merged(
-    const std::vector<const CircuitGraph*>& parts) {
+    const std::vector<const CircuitGraph*>& parts, bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
   if (capacity_ == 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.misses += 1;
     }
+    note_lookup(false);
     return std::make_shared<const CircuitGraph>(CircuitGraph::merge(parts));
   }
   const std::uint64_t key = signature(parts);
@@ -51,10 +64,13 @@ std::shared_ptr<const CircuitGraph> MergeCache::merged(
     std::lock_guard<std::mutex> lock(mu_);
     if (auto* hit = cache_.get(key)) {
       stats_.hits += 1;
+      if (was_hit != nullptr) *was_hit = true;
+      note_lookup(true);
       return *hit;
     }
     stats_.misses += 1;
   }
+  note_lookup(false);
   // Merge outside the lock: finalize() is the expensive part and must not
   // serialize the worker lanes.
   auto built = std::make_shared<const CircuitGraph>(CircuitGraph::merge(parts));

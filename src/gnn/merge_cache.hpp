@@ -53,8 +53,11 @@ class MergeCache {
   static std::uint64_t signature(const std::vector<const CircuitGraph*>& parts);
 
   /// The merged super-graph for `parts`: cached when the same composition
-  /// was served before, freshly merged (and inserted) otherwise.
-  std::shared_ptr<const CircuitGraph> merged(const std::vector<const CircuitGraph*>& parts);
+  /// was served before, freshly merged (and inserted) otherwise. `was_hit`
+  /// (optional) reports the outcome so callers (serve trace spans) can label
+  /// it without re-querying stats.
+  std::shared_ptr<const CircuitGraph> merged(const std::vector<const CircuitGraph*>& parts,
+                                             bool* was_hit = nullptr);
 
   /// Drop every resident super-graph (counters keep accumulating). Entries
   /// handed out earlier stay alive through their shared_ptrs. For long-lived

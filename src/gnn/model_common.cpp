@@ -1,6 +1,7 @@
 #include "gnn/model_common.hpp"
 
 #include "nn/ops.hpp"
+#include "obs/metrics.hpp"
 
 #include <atomic>
 #include <cassert>
@@ -21,9 +22,17 @@ ForwardCounters forward_counters() {
           g_partial_forwards.load(std::memory_order_relaxed)};
 }
 
-void count_full_forward() { g_full_forwards.fetch_add(1, std::memory_order_relaxed); }
+void count_full_forward() {
+  g_full_forwards.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& c = obs::counter("gnn.forwards.full");
+  c.add();
+}
 
-void count_partial_forward() { g_partial_forwards.fetch_add(1, std::memory_order_relaxed); }
+void count_partial_forward() {
+  g_partial_forwards.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& c = obs::counter("gnn.forwards.partial");
+  c.add();
+}
 
 void copy_params(const nn::NamedParams& from, nn::NamedParams& to) {
   if (from.size() != to.size())

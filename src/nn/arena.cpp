@@ -1,5 +1,6 @@
 #include "nn/arena.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/env.hpp"
 
 #include <atomic>
@@ -75,8 +76,12 @@ thread_local Arena* g_active = nullptr;
 // a scope, bounding live arenas by the peak thread count.
 std::mutex g_park_mu;
 std::vector<Arena*>& parked_arenas() {
-  static std::vector<Arena*> parked;
-  return parked;
+  // Intentionally leaked: if this vector were a plain static, its exit-time
+  // destructor would free the backing store and orphan the (by design
+  // immortal) parked arenas, which LeakSanitizer then reports. Keeping the
+  // registry alive keeps every arena reachable forever.
+  static auto* parked = new std::vector<Arena*>();
+  return *parked;
 }
 
 Arena* checkout_arena() {
@@ -121,8 +126,34 @@ void arena_set_enabled(bool on) {
   enabled_flag().store(on, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Publish the arena counters as pull-style gauges the first time a scope
+/// opens. The callbacks read process-lifetime atomics (no owner to dangle),
+/// so they are registered once and never removed.
+void register_arena_gauges() {
+  static const bool once = [] {
+    obs::registry().set_callback("nn.arena.heap_allocs", [] {
+      return static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed));
+    });
+    obs::registry().set_callback("nn.arena.heap_bytes", [] {
+      return static_cast<double>(g_heap_bytes.load(std::memory_order_relaxed));
+    });
+    obs::registry().set_callback("nn.arena.reuses", [] {
+      return static_cast<double>(g_reuses.load(std::memory_order_relaxed));
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
 ArenaScope::ArenaScope() : prev_(g_active) {
-  if (arena_enabled()) g_active = thread_arena();
+  if (arena_enabled()) {
+    register_arena_gauges();
+    g_active = thread_arena();
+  }
 }
 
 ArenaScope::~ArenaScope() { g_active = prev_; }

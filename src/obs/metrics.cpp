@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dg::obs {
+
+namespace {
+
+// -1 = not yet resolved from the environment. The resolve race is benign:
+// every thread computes the same value.
+std::atomic<int> g_metrics_enabled{-1};
+
+int resolve_metrics_env() {
+  const std::string v = util::env_str("DEEPGATE_METRICS", "on");
+  if (v == "on" || v == "1") return 1;
+  if (v == "off" || v == "0") return 0;
+  util::log_warn("DEEPGATE_METRICS=\"", v, "\" is not on|off; using on");
+  return 1;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  int v = g_metrics_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_metrics_env();
+    g_metrics_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void metrics_set_enabled(bool on) {
+  g_metrics_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+HistogramOptions latency_buckets() {
+  HistogramOptions opts;
+  opts.min = 1e-6;
+  opts.max = 1e3;
+  opts.buckets_per_decade = 5;
+  opts.tick = 1e-9;
+  return opts;
+}
+
+HistogramOptions size_buckets() {
+  HistogramOptions opts;
+  opts.min = 1.0;
+  opts.max = 1e9;
+  opts.buckets_per_decade = 5;
+  opts.tick = 1.0;
+  return opts;
+}
+
+// -- Histogram ----------------------------------------------------------------
+
+namespace {
+
+std::vector<double> make_bounds(const HistogramOptions& opts) {
+  const double lo = opts.min > 0.0 ? opts.min : 1e-9;
+  const double hi = std::max(opts.max, lo * 10.0);
+  const int bpd = std::max(1, opts.buckets_per_decade);
+  std::vector<double> bounds;
+  for (int i = 0;; ++i) {
+    const double b = lo * std::pow(10.0, static_cast<double>(i) / bpd);
+    if (!bounds.empty() && b <= bounds.back()) continue;  // pow plateau guard
+    bounds.push_back(b);
+    if (b >= hi) break;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram(const HistogramOptions& opts)
+    : bounds_(make_bounds(opts)),
+      cells_(bounds_.size() + 1),
+      tick_(opts.tick > 0.0 ? opts.tick : 1e-9) {}
+
+void Histogram::record(double v) {
+  if (!metrics_enabled()) return;
+  // upper_bound: first bound > v, so a value exactly on a bound lands in the
+  // bucket whose lower bound it is — exact and scheduling-independent.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  cells_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double ticks = v > 0.0 ? v / tick_ : 0.0;
+  sum_ticks_.fetch_add(static_cast<std::uint64_t>(std::llround(ticks)),
+                       std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    snap.counts[i] = cells_[i].load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ticks = sum_ticks_.load(std::memory_order_relaxed);
+  snap.tick = tick_;
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count)));
+  rank = std::min<std::uint64_t>(std::max<std::uint64_t>(rank, 1), count);
+  std::uint64_t cum = 0;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    cum += counts[j];
+    if (cum >= rank) return bounds[std::min(j, bounds.size() - 1)];
+  }
+  return bounds.back();  // unreachable when cells sum to count
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.counts.size() != counts.size() || other.tick != tick) return;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum_ticks += other.sum_ticks;
+}
+
+// -- Registry -----------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  struct Callback {
+    std::function<double()> fn;
+    std::uint64_t token = 0;
+  };
+  std::map<std::string, Callback> callbacks;
+  std::uint64_t next_token = 1;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, const HistogramOptions& opts) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(opts);
+  return *slot;
+}
+
+std::uint64_t Registry::set_callback(const std::string& name, std::function<double()> fn) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  Impl::Callback& cb = im.callbacks[name];
+  cb.fn = std::move(fn);
+  cb.token = im.next_token++;
+  return cb.token;
+}
+
+void Registry::remove_callback(const std::string& name, std::uint64_t token) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.callbacks.find(name);
+  if (it != im.callbacks.end() && it->second.token == token) im.callbacks.erase(it);
+}
+
+void Registry::visit(
+    const std::function<void(const std::string&, const Counter&)>& on_counter,
+    const std::function<void(const std::string&, double)>& on_gauge,
+    const std::function<void(const std::string&, const Histogram&)>& on_histogram) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& [name, c] : im.counters) on_counter(name, *c);
+  for (const auto& [name, g] : im.gauges)
+    on_gauge(name, static_cast<double>(g->value()));
+  // Callbacks must not call back into the registry (the lock is held); they
+  // read their owner's atomics. A throwing callback yields no sample — a
+  // snapshot must never take down the process it observes.
+  for (const auto& [name, cb] : im.callbacks) {
+    if (!cb.fn) continue;
+    try {
+      on_gauge(name, cb.fn());
+    } catch (...) {
+    }
+  }
+  for (const auto& [name, h] : im.histograms) on_histogram(name, *h);
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& counter(const std::string& name) { return registry().counter(name); }
+Gauge& gauge(const std::string& name) { return registry().gauge(name); }
+Histogram& histogram(const std::string& name, const HistogramOptions& opts) {
+  return registry().histogram(name, opts);
+}
+
+}  // namespace dg::obs

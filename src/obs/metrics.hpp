@@ -1,0 +1,181 @@
+// Process-wide metrics registry: named atomic counters, gauges, and
+// fixed-bucket log-spaced histograms — the measurement substrate shared by
+// every subsystem (serve lanes, merge/shard caches, arena, incremental memo,
+// thread pool).
+//
+// Design constraints, in order:
+//  - Hot-path cheap: a Counter::add is one relaxed atomic fetch_add behind a
+//    relaxed enabled-flag load; a Histogram::record is a short binary search
+//    over precomputed bucket bounds plus three relaxed atomic adds. Call
+//    sites cache the reference once (function-local static) and never pay
+//    the registry lookup again.
+//  - Deterministic reductions: every histogram cell — bucket counts, total
+//    count, and the value sum (stored in integer ticks, not floats) — is an
+//    unsigned integer, so merging per-thread shards is exactly associative
+//    and commutative: a fixed-order reduction is bit-identical at any
+//    DEEPGATE_THREADS, and quantiles derived from the merged buckets are
+//    deterministic.
+//  - Bitwise-neutral: metrics only observe; nothing here feeds back into any
+//    computation. Inference outputs are bitwise identical with
+//    DEEPGATE_METRICS=on or off (asserted in tests/obs_test.cpp).
+//
+// Registered metrics live for the process lifetime; references returned by
+// counter()/gauge()/histogram() are stable forever. Names are dotted paths
+// ("serve.latency_seconds", "gnn.merge_cache.hits"); the snapshot in
+// obs/obs.hpp derives "<prefix>.hit_rate" gauges for any hits/misses pair.
+//
+// Knob: DEEPGATE_METRICS=on|off (default on; strict parse — unknown values
+// warn and keep the default), or metrics_set_enabled() for tests/benches.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dg::obs {
+
+/// Master recording switch (DEEPGATE_METRICS, default on). When off every
+/// add/set/record is a dropped branch; registration and snapshots still work.
+bool metrics_enabled();
+void metrics_set_enabled(bool on);
+
+/// Monotonic counter. add() is relaxed: per-event ordering does not matter,
+/// totals do.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (metrics_enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (metrics_enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) {
+    if (metrics_enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-spaced bucket layout: `buckets_per_decade` bounds per power of ten
+/// from `min` up to (at least) `max`, plus an underflow bucket below `min`
+/// and an overflow bucket at/above the last bound. The value sum is kept in
+/// integer `tick` units (llround(v / tick)) so shard merges stay exact.
+struct HistogramOptions {
+  double min = 1e-6;
+  double max = 1e3;
+  int buckets_per_decade = 5;
+  double tick = 1e-9;
+};
+
+/// Seconds-valued latencies: 1 µs .. 1000 s, 5 buckets/decade, ns-resolution
+/// sum — p50/p95/p99 resolve to ~58% relative bucket width.
+HistogramOptions latency_buckets();
+
+/// Dimensionless sizes/depths (nodes, queue depth, bytes): 1 .. 1e9,
+/// unit-resolution sum.
+HistogramOptions size_buckets();
+
+/// Frozen copy of a histogram's cells. All-integer, so merge() is exactly
+/// associative: reducing per-thread shards in fixed index order is
+/// bit-identical no matter how samples were partitioned.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         ///< ascending bucket bounds (see Histogram)
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 cells (under/overflow)
+  std::uint64_t count = 0;
+  std::uint64_t sum_ticks = 0;
+  double tick = 1e-9;
+
+  double sum() const { return static_cast<double>(sum_ticks) * tick; }
+  double mean() const { return count == 0 ? 0.0 : sum() / static_cast<double>(count); }
+
+  /// Upper bound of the bucket holding the q-quantile sample (deterministic:
+  /// derived from integer cumulative counts). Empty histogram -> 0. The
+  /// underflow bucket reports bounds.front(), the overflow bucket
+  /// bounds.back() (quantiles saturate at the layout edges).
+  double quantile(double q) const;
+
+  /// Exact cell-wise accumulation of `other` into this snapshot. Layouts
+  /// must match (same bounds/tick); mismatches are a programming error and
+  /// are ignored defensively.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket concurrent histogram. Bucket 0 holds v < bounds[0]; bucket
+/// j >= 1 holds bounds[j-1] <= v < bounds[j]; the last bucket holds
+/// v >= bounds.back() — a value exactly on a bound lands in the bucket whose
+/// LOWER bound it is. Thread-safe, wait-free per record.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& opts = HistogramOptions());
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> cells_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ticks_{0};
+  double tick_;
+};
+
+/// Name -> metric map. Registration serializes on a mutex (cold path);
+/// returned references are stable for the process lifetime, so call sites
+/// hold them in function-local statics and update lock-free. The first
+/// registration of a histogram name fixes its bucket layout; later lookups
+/// ignore their `opts`.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, const HistogramOptions& opts = HistogramOptions());
+
+  /// Pull-style gauge: `fn` is evaluated at snapshot time (for values owned
+  /// by a subsystem the obs layer cannot poll directly, e.g. the arena
+  /// counters, or a live server's lane utilization). Returns a token;
+  /// remove_callback removes only if the token still matches, so a later
+  /// owner of the same name is never torn down by a stale destructor.
+  std::uint64_t set_callback(const std::string& name, std::function<double()> fn);
+  void remove_callback(const std::string& name, std::uint64_t token);
+
+  /// Visit every metric (and evaluated callback) under the registration
+  /// lock, name-sorted. Callback exceptions are swallowed (a snapshot must
+  /// never take down the process it observes).
+  void visit(const std::function<void(const std::string&, const Counter&)>& on_counter,
+             const std::function<void(const std::string&, double)>& on_gauge,
+             const std::function<void(const std::string&, const Histogram&)>& on_histogram) const;
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry.
+Registry& registry();
+
+/// Convenience: registry().counter(name) etc.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, const HistogramOptions& opts = HistogramOptions());
+
+}  // namespace dg::obs

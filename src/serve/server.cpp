@@ -4,6 +4,7 @@
 #include "gnn/model_common.hpp"
 #include "nn/arena.hpp"
 #include "nn/tensor.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,11 +15,36 @@
 namespace deepgate::serve {
 
 using dg::gnn::CircuitGraph;
+namespace obs = dg::obs;
 
 namespace {
 
 double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+std::uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
+  const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+/// Process-wide registry roll-ups under the "serve.*" names, recorded at the
+/// same sites as the per-server Stats. References resolve once.
+struct ServeMetrics {
+  obs::Counter& submitted = obs::counter("serve.requests.submitted");
+  obs::Counter& served = obs::counter("serve.requests.served");
+  obs::Counter& cancelled = obs::counter("serve.requests.cancelled");
+  obs::Counter& failed = obs::counter("serve.requests.failed");
+  obs::Counter& windows = obs::counter("serve.windows.closed");
+  obs::Histogram& latency = obs::histogram("serve.latency_seconds", obs::latency_buckets());
+  obs::Histogram& queue_seconds = obs::histogram("serve.queue_seconds", obs::latency_buckets());
+  obs::Histogram& queue_depth = obs::histogram("serve.queue_depth", obs::size_buckets());
+  obs::Histogram& batch_nodes = obs::histogram("serve.batch_nodes", obs::size_buckets());
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
 }
 
 std::vector<float> column_of(const dg::nn::Matrix& rows) {
@@ -72,8 +98,22 @@ Server::Server(const Engine& engine, const ServerOptions& options)
       // behind instead of formed batches piling up unboundedly.
       work_queue_(2 * static_cast<std::size_t>(std::max(
                           1, options.lanes > 0 ? options.lanes
-                                               : dg::util::default_num_threads()))) {
+                                               : dg::util::default_num_threads()))),
+      latency_hist_(obs::latency_buckets()),
+      queue_seconds_hist_(obs::latency_buckets()),
+      queue_depth_hist_(obs::size_buckets()),
+      started_(Clock::now()) {
   const int lanes = options_.lanes > 0 ? options_.lanes : dg::util::default_num_threads();
+  // Pull-style gauge: fraction of lane-seconds spent inside run_work since
+  // startup. Token-scoped so a stale destructor can never tear down the
+  // callback a newer server registered under the same name.
+  util_token_ = obs::registry().set_callback("serve.lanes.utilization", [this, lanes] {
+    const double alive = seconds_between(started_, Clock::now());
+    if (alive <= 0.0 || lanes <= 0) return 0.0;
+    const double busy =
+        static_cast<double>(lanes_busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    return std::min(1.0, busy / (alive * static_cast<double>(lanes)));
+  });
   batcher_ = std::thread([this] { batcher_loop(); });
   lanes_.reserve(static_cast<std::size_t>(lanes));
   for (int i = 0; i < lanes; ++i) lanes_.emplace_back([this] { worker_loop(); });
@@ -85,11 +125,34 @@ void Server::fail(std::promise<Response>& promise, const char* what) {
   promise.set_exception(std::make_exception_ptr(ServeError(what)));
 }
 
+void Server::fail_admitted(Pending& pending, const char* what, Clock::time_point window_closed) {
+  const Clock::time_point now = Clock::now();
+  const double queue_s = window_closed == Clock::time_point{}
+                             ? seconds_between(pending.admitted, now)
+                             : seconds_between(pending.admitted, window_closed);
+  pending.promise.set_exception(std::make_exception_ptr(
+      ServeError(what, queue_s, seconds_between(pending.admitted, now))));
+}
+
 void Server::note_admitted(bool served_immediately) {
   // The ONE place `submitted` is bumped — every admission flows through here
   // (submit and try_submit, queued and zero-node fast paths), so the Stats
   // balance invariant (submitted == served + cancelled + failed at
-  // quiescence) cannot drift as entry points evolve.
+  // quiescence) cannot drift as entry points evolve. The same property keeps
+  // queue_depth_hist.count == submitted exact.
+  const double depth = static_cast<double>(admission_.size());
+  queue_depth_hist_.record(depth);
+  serve_metrics().queue_depth.record(depth);
+  serve_metrics().submitted.add();
+  if (served_immediately) {
+    // Zero-node fast path: served with ~zero latency; record it so
+    // latency_hist.count == served stays exact.
+    latency_hist_.record(0.0);
+    queue_seconds_hist_.record(0.0);
+    serve_metrics().latency.record(0.0);
+    serve_metrics().queue_seconds.record(0.0);
+    serve_metrics().served.add();
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.submitted += 1;
   if (served_immediately) stats_.served += 1;
@@ -114,6 +177,10 @@ std::future<Response> Server::submit(const Request& request) {
     return future;
   }
   Pending pending{request, std::move(promise), Clock::now()};
+  if (obs::trace_enabled()) {
+    pending.trace_id = obs::next_trace_id();
+    obs::trace_instant("serve.submit", "serve", pending.trace_id);
+  }
   if (admission_.push(pending) == PushResult::kClosed) {
     fail(pending.promise, "serve: submitted after shutdown");
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -140,6 +207,10 @@ SubmitStatus Server::try_submit(const Request& request, std::future<Response>& o
     return SubmitStatus::kAccepted;
   }
   Pending pending{request, std::move(promise), Clock::now()};
+  if (obs::trace_enabled()) {
+    pending.trace_id = obs::next_trace_id();
+    obs::trace_instant("serve.submit", "serve", pending.trace_id);
+  }
   switch (admission_.try_push(pending)) {
     case PushResult::kOk: {
       out = std::move(future);
@@ -170,6 +241,10 @@ void Server::resume() { admission_.set_pop_paused(false); }
 void Server::shutdown(bool drain) {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unhook the utilization gauge before teardown: the callback captures
+  // `this`, and a registry snapshot taken after this server dies must not
+  // touch it. Token-matched, so a newer server's callback is left alone.
+  obs::registry().remove_callback("serve.lanes.utilization", util_token_);
   cancel_.store(!drain, std::memory_order_release);
   // Shutdown overrides pause: a paused server must still drain (or cancel)
   // deterministically instead of deadlocking on held admissions.
@@ -194,6 +269,9 @@ Stats Server::stats() const {
   snapshot.merge_cache_hits = cache.hits;
   snapshot.merge_cache_misses = cache.misses;
   snapshot.queue_depth = admission_.size();
+  snapshot.latency_hist = latency_hist_.snapshot();
+  snapshot.queue_seconds_hist = queue_seconds_hist_.snapshot();
+  snapshot.queue_depth_hist = queue_depth_hist_.snapshot();
   return snapshot;
 }
 
@@ -239,6 +317,8 @@ void Server::batcher_loop() {
 
 void Server::dispatch_window(std::vector<Pending>& window, CloseReason reason) {
   const Clock::time_point closed_at = Clock::now();
+  serve_metrics().windows.add();
+  obs::trace_instant("serve.window_close", "serve", 0, 0, close_reason_name(reason));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.windows += 1;
@@ -251,7 +331,11 @@ void Server::dispatch_window(std::vector<Pending>& window, CloseReason reason) {
   }
 
   if (cancel_.load(std::memory_order_acquire)) {
-    for (Pending& pending : window) fail(pending.promise, "serve: cancelled at shutdown");
+    for (Pending& pending : window) {
+      obs::trace_instant("serve.cancel", "serve", pending.trace_id);
+      fail_admitted(pending, "serve: cancelled at shutdown", closed_at);
+    }
+    serve_metrics().cancelled.add(window.size());
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.cancelled += window.size();
     return;
@@ -270,7 +354,11 @@ void Server::dispatch_window(std::vector<Pending>& window, CloseReason reason) {
     if (work_queue_.push(work) == PushResult::kClosed) {
       // Only reachable if the work queue were closed early; keep the
       // no-unfulfilled-futures invariant regardless.
-      for (Pending& pending : work.members) fail(pending.promise, "serve: cancelled at shutdown");
+      for (Pending& pending : work.members) {
+        obs::trace_instant("serve.cancel", "serve", pending.trace_id);
+        fail_admitted(pending, "serve: cancelled at shutdown", closed_at);
+      }
+      serve_metrics().cancelled.add(work.members.size());
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.cancelled += work.members.size();
     }
@@ -290,6 +378,11 @@ void Server::worker_loop() {
 }
 
 void Server::run_work(Work& work, const dg::gnn::Model& model) {
+  const Clock::time_point work_start = Clock::now();
+  // Batch correlation id: request-level spans recorded below carry ref=bid,
+  // linking every member to the merge/forward spans of the batch that served
+  // it in the exported trace.
+  const std::uint64_t bid = obs::trace_enabled() ? obs::next_trace_id() : 0;
   dg::nn::NoGradGuard no_grad;
   std::vector<const CircuitGraph*> graphs;
   graphs.reserve(work.members.size());
@@ -325,8 +418,14 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
     // requests); run the forward inside it so the lane's level states and
     // scratch recycle request to request. Response matrices are copied after
     // the scope closes, so client-held buffers never drain the lane's arena.
-    if (graphs.size() > 1) merged = merge_cache_.merged(graphs);
+    if (graphs.size() > 1) {
+      obs::TraceSpan merge_span("serve.merge", "serve", bid);
+      bool merge_hit = false;
+      merged = merge_cache_.merged(graphs, &merge_hit);
+      merge_span.set_detail(merge_hit ? "hit" : "miss");
+    }
     {
+      obs::TraceSpan forward_span("serve.forward", "serve", bid);
       dg::nn::ArenaScope arena;
       if (merged == nullptr) {
         // Solo group: the literal single-graph code path — trivially
@@ -341,6 +440,12 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
     double sum_queue = 0.0, sum_service = 0.0, sum_latency = 0.0, max_latency = 0.0;
     for (std::size_t i = 0; i < work.members.size(); ++i) {
       Pending& pending = work.members[i];
+      // Request-scoped spans: the queueing interval the member already spent
+      // (admission -> window close), then the fulfillment work below — both
+      // linked to this batch's merge/forward spans via ref=bid.
+      obs::trace_record("serve.admission", "serve", pending.admitted, work.window_closed,
+                        pending.trace_id, bid);
+      obs::TraceSpan fulfill_span("serve.fulfill", "serve", pending.trace_id, bid);
       Response response;
       if (merged == nullptr) {
         response.probabilities = column_of(pred);
@@ -360,9 +465,15 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
       sum_service += response.service_seconds;
       sum_latency += response.latency_seconds;
       max_latency = std::max(max_latency, response.latency_seconds);
+      latency_hist_.record(response.latency_seconds);
+      queue_seconds_hist_.record(response.queue_seconds);
+      serve_metrics().latency.record(response.latency_seconds);
+      serve_metrics().queue_seconds.record(response.queue_seconds);
       pending.promise.set_value(std::move(response));
+      serve_metrics().served.add();
       ++fulfilled;
     }
+    serve_metrics().batch_nodes.record(static_cast<double>(batch_nodes));
 
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.served += work.members.size();
@@ -380,12 +491,16 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
   } catch (const std::exception& e) {
     // Only the promises not yet resolved may be failed — set_exception on an
     // already-satisfied promise throws future_error out of the lane thread.
+    // fail_admitted carries the timing into the ServeError, so even a
+    // forward failure reports how long the request was held.
     for (std::size_t i = fulfilled; i < work.members.size(); ++i)
-      fail(work.members[i].promise, e.what());
+      fail_admitted(work.members[i], e.what(), work.window_closed);
+    serve_metrics().failed.add(work.members.size() - fulfilled);
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.served += fulfilled;
     stats_.failed += work.members.size() - fulfilled;
   }
+  lanes_busy_ns_.fetch_add(ns_between(work_start, Clock::now()), std::memory_order_relaxed);
 }
 
 std::unique_ptr<Server> start(const Engine& engine, const ServerOptions& options) {

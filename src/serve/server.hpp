@@ -44,6 +44,7 @@
 
 #include "gnn/circuit_graph.hpp"
 #include "nn/matrix.hpp"
+#include "obs/metrics.hpp"
 #include "serve/merge_cache.hpp"
 #include "serve/policy.hpp"
 #include "serve/queue.hpp"
@@ -157,6 +158,14 @@ struct Stats {
   std::uint64_t merge_cache_misses = 0;
 
   std::size_t queue_depth = 0;          ///< admission queue depth at snapshot time
+
+  // Per-server distribution snapshots (dg::obs fixed-bucket histograms;
+  // p50/p95/p99 derive deterministically via HistogramSnapshot::quantile).
+  // latency_hist.count == served and queue_depth_hist.count == submitted
+  // exactly while metrics recording is enabled (asserted in serve_test).
+  dg::obs::HistogramSnapshot latency_hist;       ///< admission -> fulfilled, seconds
+  dg::obs::HistogramSnapshot queue_seconds_hist; ///< admission -> window close, seconds
+  dg::obs::HistogramSnapshot queue_depth_hist;   ///< admission-queue depth at each admission
 };
 
 class Server {
@@ -204,6 +213,7 @@ class Server {
     Request request;
     std::promise<Response> promise;
     Clock::time_point admitted;
+    std::uint64_t trace_id = 0;  ///< nonzero only while tracing is enabled
   };
   /// One merge group handed to a worker lane.
   struct Work {
@@ -219,6 +229,11 @@ class Server {
   /// resolved at admission) — keeps the balance invariant audit-proof.
   void note_admitted(bool served_immediately);
   static void fail(std::promise<Response>& promise, const char* what);
+  /// Fail an admitted request: the ServeError carries queue/latency timing
+  /// measured up to the failure, so cancelled/failed futures report latency
+  /// like served ones do.
+  static void fail_admitted(Pending& pending, const char* what,
+                            Clock::time_point window_closed = Clock::time_point{});
 
   const Engine& engine_;
   const ServerOptions options_;
@@ -235,15 +250,38 @@ class Server {
   mutable std::mutex stats_mu_;
   Stats stats_;
 
+  // Per-server distribution state behind Stats::*_hist (concurrent,
+  // lock-free record). The process-wide registry copies under the
+  // "serve.*" names are recorded at the same sites.
+  dg::obs::Histogram latency_hist_;
+  dg::obs::Histogram queue_seconds_hist_;
+  dg::obs::Histogram queue_depth_hist_;
+
+  // Serve-lane utilization: busy time accumulated by run_work across lanes,
+  // published as the "serve.lanes.utilization" callback gauge (removed — by
+  // token, so a newer server is never torn down — at shutdown).
+  std::atomic<std::uint64_t> lanes_busy_ns_{0};
+  Clock::time_point started_;
+  std::uint64_t util_token_ = 0;
+
   std::thread batcher_;
   std::vector<std::thread> lanes_;
 };
 
 /// Raised through futures when a request could not be served (cancelled at
-/// shutdown, submitted after stop, or failed by a forward error).
+/// shutdown, submitted after stop, or failed by a forward error). Admitted
+/// requests carry their timing up to the failure — cancelled/failed futures
+/// report latency just like served ones (never-admitted rejections report 0).
 class ServeError : public std::runtime_error {
  public:
-  explicit ServeError(const std::string& what) : std::runtime_error(what) {}
+  explicit ServeError(const std::string& what, double queue_seconds = 0.0,
+                      double latency_seconds = 0.0)
+      : std::runtime_error(what),
+        queue_seconds(queue_seconds),
+        latency_seconds(latency_seconds) {}
+
+  double queue_seconds = 0.0;    ///< admission -> window close (0 if never formed)
+  double latency_seconds = 0.0;  ///< admission -> failure fulfillment
 };
 
 /// Facade entry point: spin up the serving loop over `engine`.

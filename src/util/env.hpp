@@ -31,6 +31,16 @@
 //                                             MiB, default 512; over-cap
 //                                             graphs fall back to full
 //                                             forwards with output caching)
+//   DEEPGATE_LOG_LEVEL = error | warn | info | debug
+//                                            (stderr log threshold, default
+//                                             info — util/log.hpp)
+//   DEEPGATE_METRICS = on | off              (metrics registry recording,
+//                                             default on — obs/metrics.hpp;
+//                                             bitwise-neutral either way)
+//   DEEPGATE_TRACE = on | off                (request-scoped span tracing,
+//                                             default off — obs/trace.hpp)
+//   DEEPGATE_TRACE_BUF = <int>               (trace ring capacity in events,
+//                                             default 65536)
 #pragma once
 
 #include <cstdint>

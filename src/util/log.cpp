@@ -1,13 +1,18 @@
 #include "util/log.hpp"
 
+#include "util/env.hpp"
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
 namespace dg::util {
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+// -1 = not yet resolved from DEEPGATE_LOG_LEVEL. The resolve race is benign:
+// every thread computes the same value.
+std::atomic<int> g_level{-1};
 std::mutex g_log_mu;
 
 const char* level_tag(LogLevel level) {
@@ -25,15 +30,70 @@ long long now_ns() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Origin for the monotonic timestamp prefix: the first log-related call.
+long long log_origin_ns() {
+  static const long long origin = now_ns();
+  return origin;
+}
+
+int resolve_level_env() {
+  const std::string v = env_str("DEEPGATE_LOG_LEVEL", "info");
+  if (v == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (v == "info") return static_cast<int>(LogLevel::kInfo);
+  if (v == "warn") return static_cast<int>(LogLevel::kWarn);
+  if (v == "error") return static_cast<int>(LogLevel::kError);
+  // Strict parse: unknown values keep the default. Store BEFORE warning so
+  // the log_warn below sees a resolved level (no recursion).
+  g_level.store(static_cast<int>(LogLevel::kInfo), std::memory_order_relaxed);
+  log_warn("DEEPGATE_LOG_LEVEL=\"", v, "\" is not error|warn|info|debug; using info");
+  return static_cast<int>(LogLevel::kInfo);
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_level_env();
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  const double t = static_cast<double>(now_ns() - log_origin_ns()) * 1e-9;
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%10.6f", t);
   std::lock_guard<std::mutex> lock(g_log_mu);
-  std::cerr << "[deepgate " << level_tag(level) << "] " << msg << '\n';
+  std::cerr << "[deepgate " << stamp << " " << level_tag(level) << "] " << msg << '\n';
+}
+
+LogRateLimit::LogRateLimit(double min_interval_seconds)
+    : interval_ns_(min_interval_seconds > 0.0
+                       ? static_cast<long long>(min_interval_seconds * 1e9)
+                       : 0) {}
+
+bool LogRateLimit::allow(std::uint64_t* suppressed) {
+  const long long now = now_ns();
+  long long next = next_ns_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (now < next) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (next_ns_.compare_exchange_weak(next, now + interval_ns_,
+                                       std::memory_order_relaxed)) {
+      if (suppressed != nullptr)
+        *suppressed = suppressed_.exchange(0, std::memory_order_relaxed);
+      return true;
+    }
+    // Lost the race: another thread claimed this interval.
+  }
 }
 
 Timer::Timer() : start_ns_(now_ns()) {}

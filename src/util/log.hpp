@@ -1,7 +1,19 @@
 // Minimal leveled logging to stderr. Intended for library diagnostics; the
 // benchmark harnesses print their tables to stdout directly.
+//
+// Every line carries a monotonic timestamp (seconds since the first log
+// call) so interleaved diagnostics from pool workers and serve lanes can be
+// ordered. The threshold comes from DEEPGATE_LOG_LEVEL
+// (error|warn|info|debug, strict parse — unknown values warn once and keep
+// the default info), or set_log_level() programmatically.
+//
+// Hot paths that can emit the same warning thousands of times per second
+// (e.g. shard-cache rejects) use log_warn_limited with a LogRateLimit: one
+// line per interval, with the number of suppressed repeats appended.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -9,7 +21,8 @@ namespace dg::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are dropped. Default: kInfo.
+/// Global threshold; messages below it are dropped. Default: kInfo, or
+/// DEEPGATE_LOG_LEVEL when set (resolved lazily on first query).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -44,6 +57,42 @@ void log_warn(Args&&... args) {
 template <typename... Args>
 void log_error(Args&&... args) {
   log_line(LogLevel::kError, detail::format_parts(std::forward<Args>(args)...));
+}
+
+/// Token bucket (capacity 1) for rate-limited warnings: allow() returns true
+/// at most once per `min_interval_seconds`, counting the calls it rejected
+/// so the next emitted line can report how many repeats were dropped.
+/// Thread-safe; intended to live as a function-local static at the call site.
+class LogRateLimit {
+ public:
+  explicit LogRateLimit(double min_interval_seconds = 1.0);
+
+  /// True when the caller should emit now. When true, `*suppressed` (if
+  /// non-null) receives the number of calls rejected since the last allowed
+  /// one.
+  bool allow(std::uint64_t* suppressed = nullptr);
+
+ private:
+  long long interval_ns_;
+  std::atomic<long long> next_ns_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+/// Rate-limited warn: emits at most one line per `limit` interval, appending
+/// " (+N suppressed)" when repeats were dropped. Returns whether a line was
+/// emitted.
+template <typename... Args>
+bool log_warn_limited(LogRateLimit& limit, Args&&... args) {
+  if (log_level() > LogLevel::kWarn) return false;
+  std::uint64_t suppressed = 0;
+  if (!limit.allow(&suppressed)) return false;
+  if (suppressed > 0) {
+    log_line(LogLevel::kWarn, detail::format_parts(std::forward<Args>(args)..., " (+",
+                                                   suppressed, " suppressed)"));
+  } else {
+    log_line(LogLevel::kWarn, detail::format_parts(std::forward<Args>(args)...));
+  }
+  return true;
 }
 
 /// Simple wall-clock stopwatch for harness reporting.

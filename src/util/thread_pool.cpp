@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -24,7 +25,29 @@ namespace {
 // worker) run inline instead of re-entering the pool: the outer level already
 // owns the hardware, and inline execution keeps chunk results identical.
 thread_local bool t_in_parallel_region = false;
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0,
+                         std::chrono::steady_clock::time_point t1) {
+  const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
 }  // namespace
+
+// Relaxed per-lane counters, allocated for every pool (including the
+// inline-only 1-lane pool, which has no Impl). Observed by lane_stats();
+// never read on the execution path itself.
+struct ThreadPool::Stats {
+  struct Lane {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+  std::vector<Lane> lanes;
+  std::chrono::steady_clock::time_point created = std::chrono::steady_clock::now();
+
+  explicit Stats(int num_lanes) : lanes(static_cast<std::size_t>(num_lanes)) {}
+};
 
 struct ThreadPool::Impl {
   std::mutex submit_mu;  // serializes external run_chunks callers
@@ -37,6 +60,7 @@ struct ThreadPool::Impl {
   const std::function<void(int)>* job = nullptr;
   std::atomic<int> next_chunk{0};
   int num_chunks = 0;
+  int fair_share = 0;       // ceil(num_chunks / lanes) for steal accounting
   int pending_workers = 0;  // workers still inside the current generation
 
   std::exception_ptr first_error;
@@ -44,18 +68,22 @@ struct ThreadPool::Impl {
 
   std::vector<std::thread> workers;
 
-  void work_loop() {
+  void work_loop(Stats& stats, int lane) {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(int)>* fn = nullptr;
       {
+        const auto idle_start = std::chrono::steady_clock::now();
         std::unique_lock<std::mutex> lock(mu);
         cv_job.wait(lock, [&] { return shutdown || generation != seen; });
+        stats.lanes[static_cast<std::size_t>(lane)].idle_ns.fetch_add(
+            elapsed_ns(idle_start, std::chrono::steady_clock::now()),
+            std::memory_order_relaxed);
         if (shutdown) return;
         seen = generation;
         fn = job;
       }
-      drain(*fn);
+      drain(*fn, stats, lane);
       {
         std::lock_guard<std::mutex> lock(mu);
         if (--pending_workers == 0) cv_done.notify_one();
@@ -63,11 +91,14 @@ struct ThreadPool::Impl {
     }
   }
 
-  void drain(const std::function<void(int)>& fn) {
+  void drain(const std::function<void(int)>& fn, Stats& stats, int lane) {
+    const auto busy_start = std::chrono::steady_clock::now();
+    std::uint64_t executed = 0;
     t_in_parallel_region = true;
     for (;;) {
       const int c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
+      ++executed;
       try {
         fn(c);
       } catch (...) {
@@ -76,6 +107,13 @@ struct ThreadPool::Impl {
       }
     }
     t_in_parallel_region = false;
+    Stats::Lane& counters = stats.lanes[static_cast<std::size_t>(lane)];
+    counters.chunks.fetch_add(executed, std::memory_order_relaxed);
+    const std::uint64_t fair = static_cast<std::uint64_t>(fair_share);
+    if (executed > fair)
+      counters.steals.fetch_add(executed - fair, std::memory_order_relaxed);
+    counters.busy_ns.fetch_add(elapsed_ns(busy_start, std::chrono::steady_clock::now()),
+                               std::memory_order_relaxed);
   }
 };
 
@@ -86,28 +124,35 @@ InlineParallelGuard::InlineParallelGuard() : prev_(t_in_parallel_region) {
 InlineParallelGuard::~InlineParallelGuard() { t_in_parallel_region = prev_; }
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  stats_ = new Stats(num_threads_);
   if (num_threads_ == 1) return;  // inline-only pool, no workers, no Impl
   impl_ = new Impl;
   impl_->workers.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int i = 0; i < num_threads_ - 1; ++i)
-    impl_->workers.emplace_back([this] { impl_->work_loop(); });
+    impl_->workers.emplace_back([this, i] { impl_->work_loop(*stats_, i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
-  if (impl_ == nullptr) return;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->shutdown = true;
+  if (impl_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->shutdown = true;
+    }
+    impl_->cv_job.notify_all();
+    for (auto& w : impl_->workers) w.join();
+    delete impl_;
   }
-  impl_->cv_job.notify_all();
-  for (auto& w : impl_->workers) w.join();
-  delete impl_;
+  delete stats_;
 }
 
 void ThreadPool::run_chunks(int num_chunks, const std::function<void(int)>& fn) {
   if (num_chunks <= 0) return;
   if (impl_ == nullptr || num_chunks == 1 || t_in_parallel_region) {
     for (int c = 0; c < num_chunks; ++c) fn(c);
+    // Inline execution is the nested/serial fast path: count the chunks on
+    // lane 0 but skip the clock reads that full accounting would cost.
+    stats_->lanes[0].chunks.fetch_add(static_cast<std::uint64_t>(num_chunks),
+                                      std::memory_order_relaxed);
     return;
   }
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
@@ -115,18 +160,35 @@ void ThreadPool::run_chunks(int num_chunks, const std::function<void(int)>& fn) 
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->job = &fn;
     impl_->num_chunks = num_chunks;
+    impl_->fair_share = (num_chunks + num_threads_ - 1) / num_threads_;
     impl_->next_chunk.store(0, std::memory_order_relaxed);
     impl_->pending_workers = static_cast<int>(impl_->workers.size());
     impl_->first_error = nullptr;
     ++impl_->generation;
   }
   impl_->cv_job.notify_all();
-  impl_->drain(fn);  // caller participates
+  impl_->drain(fn, *stats_, 0);  // caller participates as lane 0
   {
     std::unique_lock<std::mutex> lock(impl_->mu);
     impl_->cv_done.wait(lock, [&] { return impl_->pending_workers == 0; });
   }
   if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+std::vector<PoolLaneStats> ThreadPool::lane_stats() const {
+  std::vector<PoolLaneStats> out(stats_->lanes.size());
+  for (std::size_t i = 0; i < stats_->lanes.size(); ++i) {
+    out[i].chunks = stats_->lanes[i].chunks.load(std::memory_order_relaxed);
+    out[i].steals = stats_->lanes[i].steals.load(std::memory_order_relaxed);
+    out[i].busy_ns = stats_->lanes[i].busy_ns.load(std::memory_order_relaxed);
+    out[i].idle_ns = stats_->lanes[i].idle_ns.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double ThreadPool::seconds_alive() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - stats_->created)
+      .count();
 }
 
 int default_num_threads() {
@@ -153,6 +215,8 @@ ThreadPool& global_pool() {
   g_pool.store(slot.get(), std::memory_order_release);
   return *slot;
 }
+
+ThreadPool* global_pool_if_created() { return g_pool.load(std::memory_order_acquire); }
 
 void set_global_threads(int num_threads) {
   std::lock_guard<std::mutex> lock(g_pool_mu);

@@ -16,8 +16,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace dg::util {
+
+/// Cumulative per-lane execution counters (lane 0 = the submitting caller,
+/// lanes 1..N-1 = spawned workers). Updated with relaxed atomics — cheap
+/// enough to stay on unconditionally; obs::snapshot() derives per-lane
+/// utilization as busy_ns over the pool lifetime.
+struct PoolLaneStats {
+  std::uint64_t chunks = 0;   ///< chunks executed by this lane
+  std::uint64_t steals = 0;   ///< chunks executed beyond the lane's fair share
+  std::uint64_t busy_ns = 0;  ///< time spent draining chunk queues
+  std::uint64_t idle_ns = 0;  ///< workers: time parked waiting for a job
+};
 
 class ThreadPool {
  public:
@@ -37,9 +49,18 @@ class ThreadPool {
   /// (after all chunks completed or were abandoned).
   void run_chunks(int num_chunks, const std::function<void(int)>& fn);
 
+  /// Frozen copy of every lane's counters, lane 0 first.
+  std::vector<PoolLaneStats> lane_stats() const;
+
+  /// Wall-clock seconds since the pool was constructed (the denominator for
+  /// lane utilization).
+  double seconds_alive() const;
+
  private:
   struct Impl;
+  struct Stats;
   Impl* impl_ = nullptr;
+  Stats* stats_ = nullptr;
   int num_threads_ = 1;
 };
 
@@ -72,6 +93,11 @@ ThreadPool& global_pool();
 /// Replace the global pool with one of `num_threads` lanes (test/bench knob;
 /// not safe while another thread is inside the pool).
 void set_global_threads(int num_threads);
+
+/// The global pool if some caller already created it, else nullptr. Never
+/// creates the pool — observers (obs::snapshot) must not change which code
+/// paths have run.
+ThreadPool* global_pool_if_created();
 
 /// Fixed chunk boundary: start of chunk c when [0, n) is split into C chunks.
 inline std::int64_t chunk_begin(std::int64_t n, int num_chunks, int c) {

@@ -10,6 +10,7 @@
 #include "data/generators_large.hpp"
 #include "data/generators_small.hpp"
 #include "nn/arena.hpp"
+#include "obs/metrics.hpp"
 #include "serve/merge_cache.hpp"
 #include "util/lru.hpp"
 
@@ -387,7 +388,17 @@ TEST(ServeLoop, CancelShutdownFailsQueuedFuturesDeterministically) {
 
   for (auto& f : futures) {
     ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
-    EXPECT_THROW(f.get(), deepgate::serve::ServeError);
+    // Cancelled futures carry their timing like served ones: the request WAS
+    // admitted, so the ServeError reports a real admission->failure latency
+    // (the Response::latency_seconds fix for non-served fulfillment paths).
+    try {
+      f.get();
+      ADD_FAILURE() << "expected ServeError from a cancelled future";
+    } catch (const deepgate::serve::ServeError& e) {
+      EXPECT_GT(e.latency_seconds, 0.0);
+      EXPECT_GE(e.queue_seconds, 0.0);
+      EXPECT_LE(e.queue_seconds, e.latency_seconds);
+    }
   }
   const auto stats = server->stats();
   EXPECT_EQ(stats.cancelled, futures.size());
@@ -490,9 +501,16 @@ TEST(ServeStats, BalanceInvariantHoldsAtCancelShutdown) {
   server->shutdown(/*drain=*/false);
   for (auto& f : held) EXPECT_THROW(f.get(), deepgate::serve::ServeError);
 
-  // Attempts after shutdown are rejections, not submissions.
+  // Attempts after shutdown are rejections, not submissions — never
+  // admitted, so the error reports zero latency.
   auto late = server->submit({&graphs[0]});
-  EXPECT_THROW(late.get(), deepgate::serve::ServeError);
+  try {
+    late.get();
+    ADD_FAILURE() << "expected ServeError from a post-shutdown submit";
+  } catch (const deepgate::serve::ServeError& e) {
+    EXPECT_EQ(e.latency_seconds, 0.0);
+    EXPECT_EQ(e.queue_seconds, 0.0);
+  }
 
   const auto stats = server->stats();
   EXPECT_EQ(stats.submitted, stats.served + stats.cancelled + stats.failed);
@@ -500,6 +518,48 @@ TEST(ServeStats, BalanceInvariantHoldsAtCancelShutdown) {
   EXPECT_EQ(stats.served, 1u);
   EXPECT_EQ(stats.cancelled, held.size());
   EXPECT_EQ(stats.rejected_stopped, 1u);
+}
+
+// The per-server distribution snapshots must stay exactly in step with the
+// balance counters: one latency/queue-seconds sample per served request, one
+// queue-depth sample per admission (including the zero-node fast path), with
+// deterministic quantiles derived from the integer cells.
+TEST(ServeStats, HistogramCountsMatchBalanceCounters) {
+  if (!obs::metrics_enabled()) GTEST_SKIP() << "DEEPGATE_METRICS=off";
+  const auto graphs = mixed_graphs();
+  deepgate::Options options;
+  options.model = tiny_config();
+  const deepgate::Engine engine(options);
+
+  ServerOptions sopts;
+  sopts.lanes = 2;
+  auto server = deepgate::serve::start(engine, sopts);
+
+  CircuitGraph empty;
+  empty.finalize();
+  std::vector<std::future<Response>> futures;
+  futures.push_back(server->submit({&empty}));  // zero-node fast path counts too
+  for (int round = 0; round < 3; ++round)
+    for (const auto& g : graphs) futures.push_back(server->submit({&g}));
+  server->shutdown(/*drain=*/true);
+  for (auto& f : futures) f.get();
+
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.served, futures.size());
+  EXPECT_EQ(stats.latency_hist.count, stats.served);
+  EXPECT_EQ(stats.queue_seconds_hist.count, stats.served);
+  EXPECT_EQ(stats.queue_depth_hist.count, stats.submitted);
+  // The tick sums reproduce the double accumulators to tick resolution.
+  EXPECT_NEAR(stats.latency_hist.sum(), stats.sum_latency_seconds,
+              1e-9 * static_cast<double>(stats.served) + 1e-12);
+  EXPECT_NEAR(stats.queue_seconds_hist.sum(), stats.sum_queue_seconds,
+              1e-9 * static_cast<double>(stats.served) + 1e-12);
+  // Quantiles are monotone and saturate within the bucket layout.
+  const double p50 = stats.latency_hist.quantile(0.50);
+  const double p99 = stats.latency_hist.quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, stats.latency_hist.bounds.back());
 }
 
 // -- Merge cache ---------------------------------------------------------------

@@ -4,12 +4,61 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 namespace dg::util {
 namespace {
 
 void benchmark_guard(double& v) { asm volatile("" : "+m"(v)); }
+
+// -- Logging -------------------------------------------------------------------
+
+// DEEPGATE_LOG_LEVEL resolves lazily on the FIRST log_level() query and is
+// cached for the process, so this suite is declared first in this file: it
+// must run before any test that logs (Env.ScaleParsing warns on a bogus
+// scale, which would consume the one-shot resolution).
+TEST(Log, LevelEnvStrictParseRejectsUnknownValues) {
+  ::setenv("DEEPGATE_LOG_LEVEL", "loud", 1);
+  // Strict parse: an unknown value warns and keeps the default info — it
+  // must not be prefix-matched or silently accepted.
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  ::unsetenv("DEEPGATE_LOG_LEVEL");
+}
+
+TEST(Log, SetLogLevelOverridesAndFilters) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold rate-limited warns return false WITHOUT consuming the
+  // limiter's token.
+  LogRateLimit limit(3600.0);
+  EXPECT_FALSE(log_warn_limited(limit, "suppressed by level"));
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_warn_limited(limit, "util_test: expected warn line"));
+  set_log_level(LogLevel::kInfo);
+}
+
+TEST(Log, RateLimitAllowsOncePerIntervalAndCountsSuppressed) {
+  LogRateLimit limit(0.05);  // 50 ms
+  std::uint64_t suppressed = 123;
+  EXPECT_TRUE(limit.allow(&suppressed));
+  EXPECT_EQ(suppressed, 0u);
+  EXPECT_FALSE(limit.allow());
+  EXPECT_FALSE(limit.allow());
+  EXPECT_FALSE(limit.allow());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(limit.allow(&suppressed));
+  EXPECT_EQ(suppressed, 3u);  // the three rejected calls are reported
+
+  // A zero interval never limits (and never reports suppressions).
+  LogRateLimit off(0.0);
+  for (int i = 0; i < 4; ++i) {
+    suppressed = 99;
+    EXPECT_TRUE(off.allow(&suppressed));
+    EXPECT_EQ(suppressed, 0u);
+  }
+}
 
 TEST(TextTable, RendersAlignedColumns) {
   TextTable t({"Model", "Error"});

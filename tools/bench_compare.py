@@ -23,6 +23,12 @@ warns and is skipped from the regression check — its rows still appear in
 the step-summary table, marked "new", so the first data point is visible.
 Only rows with a baseline counterpart can regress.
 
+Reports may carry a top-level "metrics" key — the obs::snapshot() taken at
+report time (cache hit rates, lane utilization, latency histograms). These
+fields are surfaced informationally (baseline -> current when both sides
+have them) but NEVER gate: baselines from runs that predate the
+observability layer just warn and show the current values.
+
 Exit codes: 1 when --strict and at least one row regressed; 0 otherwise —
 including when the baseline path is missing entirely (first run on a branch,
 expired artifact), which only warns: a trend gate must not fail the lane
@@ -124,6 +130,53 @@ def compare_report(rel, base_doc, cur_doc, metric, threshold, table):
     return regressions
 
 
+def metrics_fields(doc):
+    """Flatten the trend-worthy fields out of a report's optional top-level
+    "metrics" snapshot: hit-rate / utilization gauges (minus the per-lane
+    breakdown) and histogram count/p99. None when the report has no snapshot
+    (every report written before the observability layer)."""
+    m = doc.get("metrics")
+    if not isinstance(m, dict):
+        return None
+    out = {}
+    gauges = m.get("gauges")
+    if isinstance(gauges, dict):
+        for name, v in gauges.items():
+            if ".lane" in name:
+                continue
+            if (name.endswith(".hit_rate") or name.endswith("utilization")) \
+                    and isinstance(v, (int, float)):
+                out[name] = float(v)
+    hists = m.get("histograms")
+    if isinstance(hists, dict):
+        for name, h in hists.items():
+            if not isinstance(h, dict):
+                continue
+            for key in ("count", "p99"):
+                v = h.get(key)
+                if isinstance(v, (int, float)):
+                    out[f"{name}.{key}"] = float(v)
+    return out
+
+
+def show_metrics(rel, base_doc, cur_doc):
+    """Informational only — metrics-snapshot fields never regress the gate.
+    A baseline without the snapshot (an older run) warns and shows the
+    current values as first data points."""
+    cur = metrics_fields(cur_doc)
+    if cur is None:
+        return
+    base = metrics_fields(base_doc) if base_doc is not None else None
+    if base is None and base_doc is not None:
+        warn(f"{rel}: baseline has no metrics snapshot (pre-observability "
+             "run); showing current values only")
+    for name in sorted(cur):
+        if base and name in base:
+            print(f"  {rel} [metrics] {name}: {base[name]:.3f} -> {cur[name]:.3f}")
+        else:
+            print(f"  {rel} [metrics] {name}: {cur[name]:.3f} (new)")
+
+
 def write_step_summary(table, metric, threshold):
     """Append the per-mode delta table to $GITHUB_STEP_SUMMARY, when set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -203,6 +256,7 @@ def main() -> int:
             if cur_doc is not None:
                 for mode, row in rows_by_mode(cur_doc).items():
                     table.append((rel, mode, None, row.get(args.metric), "new"))
+                show_metrics(rel, None, cur_doc)
             continue
         base_doc = load_report(base_reports[rel])
         cur_doc = load_report(cur_path)
@@ -211,6 +265,7 @@ def main() -> int:
         compared += 1
         regressions += compare_report(rel, base_doc, cur_doc,
                                       args.metric, args.threshold, table)
+        show_metrics(rel, base_doc, cur_doc)
     write_step_summary(table, args.metric, args.threshold)
 
     if compared == 0:
