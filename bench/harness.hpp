@@ -126,7 +126,8 @@ inline Context make_context(int argc = 0, char** argv = nullptr) {
   Context ctx;
   ctx.scale = dg::util::bench_scale();
   ctx.seed = dg::util::env_seed(1);
-  if (const char* env_json = std::getenv("DEEPGATE_BENCH_JSON")) ctx.json_path = env_json;
+  const std::string env_json = dg::util::env_str("DEEPGATE_BENCH_JSON");
+  if (!env_json.empty()) ctx.json_path = env_json;
   for (int i = 1; i + 1 < argc; ++i)
     if (std::string(argv[i]) == "--json") ctx.json_path = argv[i + 1];
   switch (ctx.scale) {

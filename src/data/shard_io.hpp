@@ -132,6 +132,14 @@ struct StreamOptions {
 /// skipped with a warning. Optionally keeps a bounded LRU of decoded shards
 /// and prefetches the next shard in the background (StreamOptions); the
 /// delivered sequence is identical whatever the knobs.
+///
+/// Thread affinity (why this class carries no util::Mutex): all mutable
+/// state except disk_loads_ is owned by the single consumer thread driving
+/// next()/reset(). The only cross-thread edge is the read-ahead future —
+/// the background task touches nothing of the stream but the atomic
+/// disk_loads_ counter, and std::future::get() provides the happens-before
+/// for the Loaded payload. Sharing one ShardStream across consumer threads
+/// is out of contract.
 class ShardStream final : public gnn::GraphStream {
  public:
   /// The default options come from the environment, so existing call sites

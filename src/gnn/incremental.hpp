@@ -20,6 +20,13 @@
 // falls back to full forwards but still caches the outputs, so an unchanged
 // re-query (the embed-then-predict sequence) never pays a second
 // propagation.
+//
+// Thread affinity (why LevelMemo carries no util::Mutex): a LevelMemo is
+// owned by one core::IncrementalSession, and a session serves one client's
+// edit stream from one thread at a time — the same contract as ShardStream.
+// The only process-wide state here is the memo on/off override, which is a
+// relaxed atomic. Cross-session sharing would need a lock AND a story for
+// generation counters; it is deliberately out of contract.
 #pragma once
 
 #include "gnn/model_common.hpp"

@@ -53,7 +53,7 @@ std::shared_ptr<const CircuitGraph> MergeCache::merged(
   if (was_hit != nullptr) *was_hit = false;
   if (capacity_ == 0) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       stats_.misses += 1;
     }
     note_lookup(false);
@@ -61,7 +61,7 @@ std::shared_ptr<const CircuitGraph> MergeCache::merged(
   }
   const std::uint64_t key = signature(parts);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (auto* hit = cache_.get(key)) {
       stats_.hits += 1;
       if (was_hit != nullptr) *was_hit = true;
@@ -74,18 +74,18 @@ std::shared_ptr<const CircuitGraph> MergeCache::merged(
   // Merge outside the lock: finalize() is the expensive part and must not
   // serialize the worker lanes.
   auto built = std::make_shared<const CircuitGraph>(CircuitGraph::merge(parts));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_.put(key, built);
   return built;
 }
 
 void MergeCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_.clear();
 }
 
 MergeCacheStats MergeCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   MergeCacheStats snapshot = stats_;
   snapshot.entries = cache_.size();
   return snapshot;

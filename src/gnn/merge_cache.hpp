@@ -28,11 +28,12 @@
 
 #include "gnn/circuit_graph.hpp"
 #include "util/lru.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 namespace dg::gnn {
@@ -69,9 +70,12 @@ class MergeCache {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  util::LruCache<std::uint64_t, std::shared_ptr<const CircuitGraph>> cache_;
-  MergeCacheStats stats_;
+  mutable util::Mutex mu_;
+  // The LruCache itself is lock-free-of (documented in util/lru.hpp: callers
+  // hold their own lock) — GUARDED_BY makes that contract compiler-checked.
+  util::LruCache<std::uint64_t, std::shared_ptr<const CircuitGraph>> cache_
+      DG_GUARDED_BY(mu_);
+  MergeCacheStats stats_ DG_GUARDED_BY(mu_);
 };
 
 }  // namespace dg::gnn

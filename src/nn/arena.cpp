@@ -2,11 +2,12 @@
 
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <atomic>
 #include <bit>
 #include <cstdint>
-#include <mutex>
 #include <new>
 #include <vector>
 
@@ -47,7 +48,7 @@ int bucket_for(std::size_t bytes) {
 class Arena {
  public:
   void* try_pop(int bucket) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto& list = free_[bucket];
     if (list.empty()) return nullptr;
     void* p = list.back();
@@ -56,15 +57,15 @@ class Arena {
   }
 
   void push(void* payload, int bucket) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     free_[bucket].push_back(payload);
   }
 
  private:
   // Uncontended in steady state (buffers return on the thread that took
   // them); the mutex covers the cross-thread escape paths.
-  std::mutex mu_;
-  std::vector<void*> free_[kNumBuckets];
+  util::Mutex mu_;
+  std::vector<void*> free_[kNumBuckets] DG_GUARDED_BY(mu_);
 };
 
 namespace {
@@ -74,8 +75,8 @@ thread_local Arena* g_active = nullptr;
 // Arenas are never destroyed — outstanding buffers hold raw owner pointers.
 // When a thread exits, its arena parks here for the next thread that opens
 // a scope, bounding live arenas by the peak thread count.
-std::mutex g_park_mu;
-std::vector<Arena*>& parked_arenas() {
+util::Mutex g_park_mu;
+std::vector<Arena*>& parked_arenas() DG_REQUIRES(g_park_mu) {
   // Intentionally leaked: if this vector were a plain static, its exit-time
   // destructor would free the backing store and orphan the (by design
   // immortal) parked arenas, which LeakSanitizer then reports. Keeping the
@@ -85,7 +86,7 @@ std::vector<Arena*>& parked_arenas() {
 }
 
 Arena* checkout_arena() {
-  std::lock_guard<std::mutex> lock(g_park_mu);
+  util::MutexLock lock(g_park_mu);
   auto& parked = parked_arenas();
   if (!parked.empty()) {
     Arena* a = parked.back();
@@ -99,7 +100,7 @@ struct ThreadArenaHolder {
   Arena* arena = nullptr;
   ~ThreadArenaHolder() {
     if (arena == nullptr) return;
-    std::lock_guard<std::mutex> lock(g_park_mu);
+    util::MutexLock lock(g_park_mu);
     parked_arenas().push_back(arena);
   }
 };

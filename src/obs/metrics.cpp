@@ -2,12 +2,13 @@
 
 #include "util/env.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 
 namespace dg::obs {
 
@@ -132,16 +133,19 @@ void HistogramSnapshot::merge(const HistogramSnapshot& other) {
 // -- Registry -----------------------------------------------------------------
 
 struct Registry::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  mutable util::Mutex mu;
+  // The maps are guarded; the Counter/Gauge/Histogram objects they own are
+  // internally atomic and may be used lock-free once handed out (the
+  // registry never erases them, so references stay stable for the process).
+  std::map<std::string, std::unique_ptr<Counter>> counters DG_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges DG_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms DG_GUARDED_BY(mu);
   struct Callback {
     std::function<double()> fn;
     std::uint64_t token = 0;
   };
-  std::map<std::string, Callback> callbacks;
-  std::uint64_t next_token = 1;
+  std::map<std::string, Callback> callbacks DG_GUARDED_BY(mu);
+  std::uint64_t next_token DG_GUARDED_BY(mu) = 1;
 };
 
 Registry::Impl& Registry::impl() const {
@@ -151,7 +155,7 @@ Registry::Impl& Registry::impl() const {
 
 Counter& Registry::counter(const std::string& name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(im.mu);
   auto& slot = im.counters[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -159,7 +163,7 @@ Counter& Registry::counter(const std::string& name) {
 
 Gauge& Registry::gauge(const std::string& name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(im.mu);
   auto& slot = im.gauges[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -167,7 +171,7 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name, const HistogramOptions& opts) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(im.mu);
   auto& slot = im.histograms[name];
   if (!slot) slot = std::make_unique<Histogram>(opts);
   return *slot;
@@ -175,7 +179,7 @@ Histogram& Registry::histogram(const std::string& name, const HistogramOptions& 
 
 std::uint64_t Registry::set_callback(const std::string& name, std::function<double()> fn) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(im.mu);
   Impl::Callback& cb = im.callbacks[name];
   cb.fn = std::move(fn);
   cb.token = im.next_token++;
@@ -184,7 +188,7 @@ std::uint64_t Registry::set_callback(const std::string& name, std::function<doub
 
 void Registry::remove_callback(const std::string& name, std::uint64_t token) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(im.mu);
   auto it = im.callbacks.find(name);
   if (it != im.callbacks.end() && it->second.token == token) im.callbacks.erase(it);
 }
@@ -194,7 +198,7 @@ void Registry::visit(
     const std::function<void(const std::string&, double)>& on_gauge,
     const std::function<void(const std::string&, const Histogram&)>& on_histogram) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(im.mu);
   for (const auto& [name, c] : im.counters) on_counter(name, *c);
   for (const auto& [name, g] : im.gauges)
     on_gauge(name, static_cast<double>(g->value()));
@@ -206,6 +210,7 @@ void Registry::visit(
     try {
       on_gauge(name, cb.fn());
     } catch (...) {
+      // Swallowed by design (see comment above): observation must not throw.
     }
   }
   for (const auto& [name, h] : im.histograms) on_histogram(name, *h);

@@ -2,10 +2,11 @@
 
 #include "util/env.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <atomic>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 
 namespace dg::obs {
@@ -47,12 +48,12 @@ std::uint32_t current_tid() {
 /// on, one short critical section per span is far below the cost of the
 /// forwards being traced, and it keeps the sink trivially TSan-clean.
 struct TraceSink {
-  std::mutex mu;
-  std::vector<TraceEvent> ring;
-  std::size_t capacity;
-  std::size_t head = 0;         // next write slot once the ring is full
-  std::uint64_t recorded = 0;
-  std::uint64_t dropped = 0;    // oldest events overwritten (clear() is not a drop)
+  util::Mutex mu;
+  std::vector<TraceEvent> ring DG_GUARDED_BY(mu);
+  std::size_t capacity;         // set once in the ctor, immutable after
+  std::size_t head DG_GUARDED_BY(mu) = 0;       // next write slot once the ring is full
+  std::uint64_t recorded DG_GUARDED_BY(mu) = 0;
+  std::uint64_t dropped DG_GUARDED_BY(mu) = 0;  // oldest events overwritten (clear() is not a drop)
 
   TraceSink() {
     long long cap = util::env_int("DEEPGATE_TRACE_BUF", 1 << 16);
@@ -62,7 +63,7 @@ struct TraceSink {
   }
 
   void push(const TraceEvent& e) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     if (ring.size() < capacity) {
       ring.push_back(e);
     } else {
@@ -74,7 +75,7 @@ struct TraceSink {
   }
 
   std::vector<TraceEvent> snapshot() {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     std::vector<TraceEvent> out;
     out.reserve(ring.size());
     // Oldest first: [head, end) then [0, head).
@@ -84,7 +85,7 @@ struct TraceSink {
   }
 
   TraceSinkStats stats() {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     TraceSinkStats s;
     s.recorded = recorded;
     s.dropped = dropped;
@@ -94,7 +95,7 @@ struct TraceSink {
   }
 
   void clear() {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     ring.clear();
     head = 0;
   }

@@ -15,13 +15,19 @@
 //    accumulate until capacity and try_push reports kFull — how both the
 //    backpressure tests and an operational "hold admissions" switch get a
 //    deterministic full-queue state.
+//
+// All state is behind one annotated util::Mutex; waits are explicit loops
+// over DG_REQUIRES-annotated predicates so the clang -Wthread-safety lane
+// proves every access (see util/mutex.hpp for why not the std predicate
+// overloads).
 #pragma once
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 namespace deepgate::serve {
@@ -39,8 +45,8 @@ class BoundedQueue {
   /// Blocking push: waits while full. Moves from `v` only on kOk; kClosed
   /// leaves `v` untouched for the caller to dispose of. Never returns kFull.
   PushResult push(T& v) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    dg::util::MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(mu_);
     if (closed_) return PushResult::kClosed;
     items_.push_back(std::move(v));
     not_empty_.notify_one();
@@ -49,7 +55,7 @@ class BoundedQueue {
 
   /// Non-blocking push: kFull instead of waiting. Moves from `v` only on kOk.
   PushResult try_push(T& v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    dg::util::MutexLock lock(mu_);
     if (closed_) return PushResult::kClosed;
     if (items_.size() >= capacity_) return PushResult::kFull;
     items_.push_back(std::move(v));
@@ -59,24 +65,31 @@ class BoundedQueue {
 
   /// Blocking pop: waits for an item (or close + drained). Never kTimeout.
   PopResult pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return poppable_locked(); });
+    dg::util::MutexLock lock(mu_);
+    while (!poppable_locked()) not_empty_.wait(mu_);
     return take_locked(out);
   }
 
   /// Timed pop: waits until an item is available or `deadline` passes.
   template <typename Clock, typename Duration>
   PopResult pop_until(T& out, const std::chrono::time_point<Clock, Duration>& deadline) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!not_empty_.wait_until(lock, deadline, [&] { return poppable_locked(); }))
-      return PopResult::kTimeout;
+    dg::util::MutexLock lock(mu_);
+    while (!poppable_locked()) {
+      if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+        // One last predicate check after the deadline fired: an item (or
+        // close) that raced the timeout still wins, matching the std
+        // wait_until(pred) contract the server was built against.
+        if (poppable_locked()) break;
+        return PopResult::kTimeout;
+      }
+    }
     return take_locked(out);
   }
 
   /// Stop accepting items and wake every waiter. Idempotent. Items already
   /// queued remain poppable (drain).
   void close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    dg::util::MutexLock lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -85,27 +98,27 @@ class BoundedQueue {
   /// Gate consumers: while paused, pops block (or time out) even when items
   /// are queued — unless the queue is closed, when draining takes priority.
   void set_pop_paused(bool paused) {
-    std::lock_guard<std::mutex> lock(mu_);
+    dg::util::MutexLock lock(mu_);
     pop_paused_ = paused;
     if (!paused) not_empty_.notify_all();
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dg::util::MutexLock lock(mu_);
     return items_.size();
   }
   std::size_t capacity() const { return capacity_; }
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dg::util::MutexLock lock(mu_);
     return closed_;
   }
 
  private:
-  bool poppable_locked() const {
+  bool poppable_locked() const DG_REQUIRES(mu_) {
     if (closed_) return true;  // item or kClosed, either way wake up
     return !pop_paused_ && !items_.empty();
   }
-  PopResult take_locked(T& out) {
+  PopResult take_locked(T& out) DG_REQUIRES(mu_) {
     if (items_.empty()) return PopResult::kClosed;  // only reachable when closed_
     out = std::move(items_.front());
     items_.pop_front();
@@ -114,12 +127,12 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  bool pop_paused_ = false;
+  mutable dg::util::Mutex mu_;
+  dg::util::CondVar not_empty_;
+  dg::util::CondVar not_full_;
+  std::deque<T> items_ DG_GUARDED_BY(mu_);
+  bool closed_ DG_GUARDED_BY(mu_) = false;
+  bool pop_paused_ DG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace deepgate::serve

@@ -153,7 +153,7 @@ void Server::note_admitted(bool served_immediately) {
     serve_metrics().queue_seconds.record(0.0);
     serve_metrics().served.add();
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  dg::util::MutexLock lock(stats_mu_);
   stats_.submitted += 1;
   if (served_immediately) stats_.served += 1;
 }
@@ -166,7 +166,7 @@ std::future<Response> Server::submit(const Request& request) {
     // Keep the shutdown contract uniform: even the zero-node fast path below
     // must not "serve" on a stopped server.
     fail(promise, "serve: submitted after shutdown");
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     stats_.rejected_stopped += 1;
     return future;
   }
@@ -183,7 +183,7 @@ std::future<Response> Server::submit(const Request& request) {
   }
   if (admission_.push(pending) == PushResult::kClosed) {
     fail(pending.promise, "serve: submitted after shutdown");
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     stats_.rejected_stopped += 1;
     return future;
   }
@@ -194,7 +194,7 @@ std::future<Response> Server::submit(const Request& request) {
 SubmitStatus Server::try_submit(const Request& request, std::future<Response>& out) {
   if (request.graph == nullptr) return SubmitStatus::kInvalid;
   if (stopped()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     stats_.rejected_stopped += 1;
     return SubmitStatus::kStopped;
   }
@@ -218,12 +218,12 @@ SubmitStatus Server::try_submit(const Request& request, std::future<Response>& o
       return SubmitStatus::kAccepted;
     }
     case PushResult::kFull: {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      dg::util::MutexLock lock(stats_mu_);
       stats_.rejected_overload += 1;
       return SubmitStatus::kOverloaded;
     }
     case PushResult::kClosed: {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      dg::util::MutexLock lock(stats_mu_);
       stats_.rejected_stopped += 1;
       return SubmitStatus::kStopped;
     }
@@ -239,7 +239,7 @@ void Server::pause() {
 void Server::resume() { admission_.set_pop_paused(false); }
 
 void Server::shutdown(bool drain) {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  dg::util::MutexLock lock(lifecycle_mu_);
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   // Unhook the utilization gauge before teardown: the callback captures
   // `this`, and a registry snapshot taken after this server dies must not
@@ -262,7 +262,7 @@ void Server::shutdown(bool drain) {
 Stats Server::stats() const {
   Stats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     snapshot = stats_;
   }
   const MergeCacheStats cache = merge_cache_.stats();
@@ -320,7 +320,7 @@ void Server::dispatch_window(std::vector<Pending>& window, CloseReason reason) {
   serve_metrics().windows.add();
   obs::trace_instant("serve.window_close", "serve", 0, 0, close_reason_name(reason));
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     stats_.windows += 1;
     switch (reason) {
       case CloseReason::kBudget: stats_.close_budget += 1; break;
@@ -336,7 +336,7 @@ void Server::dispatch_window(std::vector<Pending>& window, CloseReason reason) {
       fail_admitted(pending, "serve: cancelled at shutdown", closed_at);
     }
     serve_metrics().cancelled.add(window.size());
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     stats_.cancelled += window.size();
     return;
   }
@@ -359,7 +359,7 @@ void Server::dispatch_window(std::vector<Pending>& window, CloseReason reason) {
         fail_admitted(pending, "serve: cancelled at shutdown", closed_at);
       }
       serve_metrics().cancelled.add(work.members.size());
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      dg::util::MutexLock lock(stats_mu_);
       stats_.cancelled += work.members.size();
     }
   }
@@ -475,7 +475,7 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
     }
     serve_metrics().batch_nodes.record(static_cast<double>(batch_nodes));
 
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     stats_.served += work.members.size();
     stats_.batches += 1;
     if (graphs.size() >= 2) stats_.merged_batches += 1;
@@ -496,7 +496,7 @@ void Server::run_work(Work& work, const dg::gnn::Model& model) {
     for (std::size_t i = fulfilled; i < work.members.size(); ++i)
       fail_admitted(work.members[i], e.what(), work.window_closed);
     serve_metrics().failed.add(work.members.size() - fulfilled);
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    dg::util::MutexLock lock(stats_mu_);
     stats_.served += fulfilled;
     stats_.failed += work.members.size() - fulfilled;
   }

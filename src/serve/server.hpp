@@ -48,6 +48,8 @@
 #include "serve/merge_cache.hpp"
 #include "serve/policy.hpp"
 #include "serve/queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -55,7 +57,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -245,10 +246,10 @@ class Server {
 
   std::atomic<bool> stopped_{false};
   std::atomic<bool> cancel_{false};
-  std::mutex lifecycle_mu_;  ///< serializes shutdown
+  dg::util::Mutex lifecycle_mu_;  ///< serializes shutdown
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable dg::util::Mutex stats_mu_;
+  Stats stats_ DG_GUARDED_BY(stats_mu_);
 
   // Per-server distribution state behind Stats::*_hist (concurrent,
   // lock-free record). The process-wide registry copies under the

@@ -1,19 +1,19 @@
 #include "util/log.hpp"
 
 #include "util/env.hpp"
+#include "util/mutex.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
-#include <mutex>
 
 namespace dg::util {
 namespace {
 // -1 = not yet resolved from DEEPGATE_LOG_LEVEL. The resolve race is benign:
 // every thread computes the same value.
 std::atomic<int> g_level{-1};
-std::mutex g_log_mu;
+Mutex g_log_mu;  // serializes the cerr write so lines never interleave
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -69,7 +69,7 @@ void log_line(LogLevel level, const std::string& msg) {
   const double t = static_cast<double>(now_ns() - log_origin_ns()) * 1e-9;
   char stamp[32];
   std::snprintf(stamp, sizeof(stamp), "%10.6f", t);
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  MutexLock lock(g_log_mu);
   std::cerr << "[deepgate " << stamp << " " << level_tag(level) << "] " << msg << '\n';
 }
 

@@ -1,8 +1,10 @@
 // Generic bounded LRU map: insert/lookup refresh recency, inserts beyond
 // capacity evict the least-recently-used entry. Not thread-safe — callers
-// that share one cache across threads hold their own lock (the serve-side
-// MergeCache does exactly that). Capacity 0 disables storage entirely, so a
-// cache knob of 0 cleanly means "off" without branching at every call site.
+// that share one cache across threads hold their own lock; the serve-side
+// MergeCache does exactly that, and declares its LruCache member
+// DG_GUARDED_BY its util::Mutex so the contract is compiler-checked rather
+// than comment-enforced. Capacity 0 disables storage entirely, so a cache
+// knob of 0 cleanly means "off" without branching at every call site.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,68 @@
+// Clang thread-safety annotation macros (the standard CAPABILITY /
+// GUARDED_BY / REQUIRES / ACQUIRE / RELEASE / EXCLUDES / SCOPED_CAPABILITY
+// set, DG_-prefixed), expanding to no-ops on compilers without the
+// attributes (GCC, MSVC).
+//
+// Under Clang these feed -Wthread-safety, which proves the repo's locking
+// discipline at compile time: a GUARDED_BY member touched without its mutex,
+// a REQUIRES helper called unlocked, or an unbalanced ACQUIRE/RELEASE pair
+// is a build error in the static-analysis CI lane (-Wthread-safety -Werror),
+// not a TSan flake. See src/util/mutex.hpp for the annotated Mutex /
+// MutexLock / CondVar wrappers every repo lock uses, and the README
+// "Static analysis" section for how to annotate a new lock.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DG_THREAD_ANNOTATION
+#define DG_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define DG_CAPABILITY(x) DG_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (std::lock_guard-style).
+#define DG_SCOPED_CAPABILITY DG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex(es).
+#define DG_GUARDED_BY(x) DG_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex (the
+/// pointer itself may be read freely).
+#define DG_PT_GUARDED_BY(x) DG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given mutex(es); the
+/// caller retains ownership.
+#define DG_REQUIRES(...) DG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the given mutex(es) and does not release them.
+#define DG_ACQUIRE(...) DG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given mutex(es) the caller must hold.
+#define DG_RELEASE(...) DG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex iff it returns `b`.
+#define DG_TRY_ACQUIRE(b, ...) \
+  DG_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the given mutex(es) —
+/// documents (and checks) deadlock-avoidance contracts.
+#define DG_EXCLUDES(...) DG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at analysis time that the capability is already held (for code
+/// reached only via locked paths the analysis cannot follow).
+#define DG_ASSERT_CAPABILITY(x) DG_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the mutex guarding the returned data.
+#define DG_RETURN_CAPABILITY(x) DG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the invariant holds dynamically; grep for this
+/// macro is the audit surface.
+#define DG_NO_THREAD_SAFETY_ANALYSIS \
+  DG_THREAD_ANNOTATION(no_thread_safety_analysis)

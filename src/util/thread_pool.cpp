@@ -1,14 +1,14 @@
 #include "util/thread_pool.hpp"
 
 #include "util/env.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -50,21 +50,27 @@ struct ThreadPool::Stats {
 };
 
 struct ThreadPool::Impl {
-  std::mutex submit_mu;  // serializes external run_chunks callers
-  std::mutex mu;
-  std::condition_variable cv_job;    // workers wait for a new generation
-  std::condition_variable cv_done;   // caller waits for pending == 0
-  std::uint64_t generation = 0;
-  bool shutdown = false;
+  Mutex submit_mu;  // serializes external run_chunks callers
+  Mutex mu;
+  CondVar cv_job;    // workers wait for a new generation
+  CondVar cv_done;   // caller waits for pending == 0
+  std::uint64_t generation DG_GUARDED_BY(mu) = 0;
+  bool shutdown DG_GUARDED_BY(mu) = false;
 
-  const std::function<void(int)>* job = nullptr;
+  const std::function<void(int)>* job DG_GUARDED_BY(mu) = nullptr;
   std::atomic<int> next_chunk{0};
-  int num_chunks = 0;
-  int fair_share = 0;       // ceil(num_chunks / lanes) for steal accounting
-  int pending_workers = 0;  // workers still inside the current generation
+  // Published with the generation and copied out under `mu` by every lane
+  // before draining; drain() takes them as plain parameters so no guarded
+  // state is ever read on the chunk-claiming path. (Before the annotation
+  // pass these were read inside drain() with no lock held — safe only
+  // through the generation handshake, which the analysis rightly cannot
+  // prove; the copy-out makes the discipline explicit.)
+  int num_chunks DG_GUARDED_BY(mu) = 0;
+  int fair_share DG_GUARDED_BY(mu) = 0;   // ceil(num_chunks / lanes) for steal accounting
+  int pending_workers DG_GUARDED_BY(mu) = 0;  // workers still inside the current generation
 
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu;
+  std::exception_ptr first_error DG_GUARDED_BY(error_mu);
 
   std::vector<std::thread> workers;
 
@@ -72,26 +78,33 @@ struct ThreadPool::Impl {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(int)>* fn = nullptr;
+      int nchunks = 0;
+      int fair = 0;
       {
         const auto idle_start = std::chrono::steady_clock::now();
-        std::unique_lock<std::mutex> lock(mu);
-        cv_job.wait(lock, [&] { return shutdown || generation != seen; });
+        MutexLock lock(mu);
+        while (!shutdown && generation == seen) cv_job.wait(mu);
         stats.lanes[static_cast<std::size_t>(lane)].idle_ns.fetch_add(
             elapsed_ns(idle_start, std::chrono::steady_clock::now()),
             std::memory_order_relaxed);
         if (shutdown) return;
         seen = generation;
         fn = job;
+        nchunks = num_chunks;
+        fair = fair_share;
       }
-      drain(*fn, stats, lane);
+      drain(*fn, stats, lane, nchunks, fair);
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (--pending_workers == 0) cv_done.notify_one();
       }
     }
   }
 
-  void drain(const std::function<void(int)>& fn, Stats& stats, int lane) {
+  /// `num_chunks`/`fair_share` arrive by value (copied out under `mu` by the
+  /// caller) — the drain loop itself touches only the atomic chunk counter.
+  void drain(const std::function<void(int)>& fn, Stats& stats, int lane, int num_chunks,
+             int fair_share) {
     const auto busy_start = std::chrono::steady_clock::now();
     std::uint64_t executed = 0;
     t_in_parallel_region = true;
@@ -102,7 +115,7 @@ struct ThreadPool::Impl {
       try {
         fn(c);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -135,7 +148,7 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads))
 ThreadPool::~ThreadPool() {
   if (impl_ != nullptr) {
     {
-      std::lock_guard<std::mutex> lock(impl_->mu);
+      MutexLock lock(impl_->mu);
       impl_->shutdown = true;
     }
     impl_->cv_job.notify_all();
@@ -155,24 +168,39 @@ void ThreadPool::run_chunks(int num_chunks, const std::function<void(int)>& fn) 
                                       std::memory_order_relaxed);
     return;
   }
-  std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
+  const int fair = (num_chunks + num_threads_ - 1) / num_threads_;
+  MutexLock submit_lock(impl_->submit_mu);
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    // Cleared before the new generation is published below: the previous
+    // generation fully drained (pending == 0 was awaited), so no lane can
+    // still be writing, and no lane may start the new job yet.
+    MutexLock lock(impl_->error_mu);
+    impl_->first_error = nullptr;
+  }
+  {
+    MutexLock lock(impl_->mu);
     impl_->job = &fn;
     impl_->num_chunks = num_chunks;
-    impl_->fair_share = (num_chunks + num_threads_ - 1) / num_threads_;
+    impl_->fair_share = fair;
     impl_->next_chunk.store(0, std::memory_order_relaxed);
     impl_->pending_workers = static_cast<int>(impl_->workers.size());
-    impl_->first_error = nullptr;
     ++impl_->generation;
   }
   impl_->cv_job.notify_all();
-  impl_->drain(fn, *stats_, 0);  // caller participates as lane 0
+  impl_->drain(fn, *stats_, 0, num_chunks, fair);  // caller participates as lane 0
   {
-    std::unique_lock<std::mutex> lock(impl_->mu);
-    impl_->cv_done.wait(lock, [&] { return impl_->pending_workers == 0; });
+    MutexLock lock(impl_->mu);
+    while (impl_->pending_workers != 0) impl_->cv_done.wait(impl_->mu);
   }
-  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+  // Every worker has reported done, so no lane can still be writing — but
+  // the read still takes error_mu: the handshake ordering is a dynamic fact
+  // the capability analysis (rightly) refuses to assume.
+  std::exception_ptr err;
+  {
+    MutexLock lock(impl_->error_mu);
+    err = impl_->first_error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 std::vector<PoolLaneStats> ThreadPool::lane_stats() const {
@@ -199,9 +227,9 @@ int default_num_threads() {
 }
 
 namespace {
-std::mutex g_pool_mu;  // guards creation/replacement of the global pool
+Mutex g_pool_mu;  // guards creation/replacement of the global pool
 std::atomic<ThreadPool*> g_pool{nullptr};  // lock-free hot-path handle
-std::unique_ptr<ThreadPool>& global_slot() {
+std::unique_ptr<ThreadPool>& global_slot() DG_REQUIRES(g_pool_mu) {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
 }
@@ -209,7 +237,7 @@ std::unique_ptr<ThreadPool>& global_slot() {
 
 ThreadPool& global_pool() {
   if (ThreadPool* p = g_pool.load(std::memory_order_acquire)) return *p;
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   auto& slot = global_slot();
   if (!slot) slot = std::make_unique<ThreadPool>(default_num_threads());
   g_pool.store(slot.get(), std::memory_order_release);
@@ -219,7 +247,7 @@ ThreadPool& global_pool() {
 ThreadPool* global_pool_if_created() { return g_pool.load(std::memory_order_acquire); }
 
 void set_global_threads(int num_threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   g_pool.store(nullptr, std::memory_order_release);
   global_slot() = std::make_unique<ThreadPool>(num_threads);
   g_pool.store(global_slot().get(), std::memory_order_release);

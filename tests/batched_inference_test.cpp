@@ -166,7 +166,9 @@ TEST(PlanNodeBatches, RespectsBudgetAndCaps) {
     std::size_t nodes = 0;
     for (std::size_t i = begin; i < end; ++i)
       nodes += static_cast<std::size_t>(ptrs[i]->num_nodes);
-    if (end - begin > 1) EXPECT_LE(nodes, 40u);
+    if (end - begin > 1) {
+      EXPECT_LE(nodes, 40u);
+    }
     covered += end - begin;
   }
   EXPECT_EQ(covered, ptrs.size());

@@ -41,8 +41,9 @@ TEST(Dataset, PiLabelsNearHalf) {
   const Dataset ds = build_dataset(tiny_config());
   for (const auto& g : ds.graphs) {
     for (int v = 0; v < g.num_nodes; ++v) {
-      if (g.type_id[static_cast<std::size_t>(v)] == 0)  // PI
+      if (g.type_id[static_cast<std::size_t>(v)] == 0) {  // PI
         EXPECT_NEAR(g.labels[static_cast<std::size_t>(v)], 0.5F, 0.05F);
+      }
     }
   }
 }

@@ -164,7 +164,9 @@ TEST(Extract, MultiRootWindowsGrowLarger) {
     small_nodes = aig::to_gate_graph(*s).size();
   if (auto b = extract_subcircuit(base, big_cfg, rng))
     big_nodes = aig::to_gate_graph(*b).size();
-  if (small_nodes && big_nodes) EXPECT_GT(big_nodes, small_nodes);
+  if (small_nodes && big_nodes) {
+    EXPECT_GT(big_nodes, small_nodes);
+  }
 }
 
 }  // namespace

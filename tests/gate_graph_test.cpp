@@ -59,7 +59,9 @@ TEST(GateGraph, TopologicalIds) {
   const GateGraph g = to_gate_graph(a);
   for (std::size_t v = 0; v < g.size(); ++v) {
     for (int s = 0; s < 2; ++s) {
-      if (g.fanin[v][s] >= 0) EXPECT_LT(g.fanin[v][s], static_cast<int>(v));
+      if (g.fanin[v][s] >= 0) {
+        EXPECT_LT(g.fanin[v][s], static_cast<int>(v));
+      }
     }
   }
 }

@@ -59,8 +59,9 @@ void expect_batches_equal(const LevelBatch& a, const LevelBatch& b, const std::s
   EXPECT_EQ(a.inv_deg, b.inv_deg);
   ASSERT_EQ(a.pe.rows(), b.pe.rows());
   ASSERT_EQ(a.pe.cols(), b.pe.cols());
-  if (a.pe.size() != 0)
+  if (a.pe.size() != 0) {
     EXPECT_EQ(std::memcmp(a.pe.data(), b.pe.data(), a.pe.size() * sizeof(float)), 0);
+  }
   EXPECT_EQ(a.update_rows, b.update_rows);
 }
 

@@ -22,6 +22,7 @@
 #include "nn/simd/backend.hpp"
 #include "nn/simd/bf16.hpp"
 #include "nn/simd/dispatch.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -392,10 +393,11 @@ TEST(KernelDispatch, ResolveAndNames) {
   EXPECT_EQ(simd::best_available(), simd::resolve("native"));
   EXPECT_EQ(simd::best_available(), simd::resolve("no-such-backend"));
   EXPECT_EQ(simd::best_available(), simd::resolve(""));
-  if (simd::available(SimdLevel::kAvx2))
+  if (simd::available(SimdLevel::kAvx2)) {
     EXPECT_EQ(SimdLevel::kAvx2, simd::resolve("avx2"));
-  else
+  } else {
     EXPECT_EQ(simd::best_available(), simd::resolve("avx2"));
+  }
   EXPECT_STREQ("scalar", simd::level_name(SimdLevel::kScalar));
   EXPECT_STREQ("generic", simd::level_name(SimdLevel::kGeneric));
   EXPECT_STREQ("avx2", simd::level_name(SimdLevel::kAvx2));
@@ -468,8 +470,7 @@ class ScopedFastMath {
 // The DEEPGATE_FAST_MATH overlay must be strictly opt-in, ride the avx2
 // level only, and leave scalar/generic untouched.
 TEST(KernelDispatch, FastMathOverlayInstallsOnlyOnAvx2) {
-  const char* env = std::getenv("DEEPGATE_FAST_MATH");
-  if (env == nullptr || std::string(env) != "on") {
+  if (dg::util::env_str("DEEPGATE_FAST_MATH") != "on") {
     EXPECT_FALSE(simd::fast_math()) << "fast math must default to off";
   }
 

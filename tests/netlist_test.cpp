@@ -81,7 +81,9 @@ TEST(Decompose, PreservesFunctionOnAllGateTypes) {
     const Netlist flat = decompose_to_2input(nl);
     // All gates now 2-input.
     for (const auto& g : flat.gates())
-      if (g.type != GateType::kInput) EXPECT_LE(g.fanins.size(), 2U);
+      if (g.type != GateType::kInput) {
+        EXPECT_LE(g.fanins.size(), 2U);
+      }
     // Function preserved on random words.
     const std::vector<std::uint64_t> patterns{0x123456789abcdef0ULL, 0xfedcba9876543210ULL,
                                               0x0f0f0f0f0f0f0f0fULL, 0x00ff00ff00ff00ffULL,

@@ -97,7 +97,9 @@ TEST(Reconvergence, OnePerNodePicksNearest) {
   int top = -1;
   for (const auto& e : skips) top = std::max(top, e.dst);
   for (const auto& e : skips) {
-    if (e.dst == top) EXPECT_EQ(e.level_diff, 2);
+    if (e.dst == top) {
+      EXPECT_EQ(e.level_diff, 2);
+    }
   }
 }
 

@@ -665,7 +665,9 @@ TEST(PlanNodeBatchesByDepth, GroupsSimilarDepthsDeterministically) {
       lo = std::min(lo, ptrs[i]->num_levels);
       hi = std::max(hi, ptrs[i]->num_levels);
     }
-    if (group.size() > 1) EXPECT_LE(nodes, 120u);
+    if (group.size() > 1) {
+      EXPECT_LE(nodes, 120u);
+    }
     EXPECT_GE(lo, prev_max_depth) << "depth ranges interleave";
     prev_max_depth = hi;
   }

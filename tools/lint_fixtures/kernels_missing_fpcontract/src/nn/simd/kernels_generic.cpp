@@ -1,0 +1,5 @@
+// A vector TU (portable register-blocked backend stand-in) whose CMakeLists
+// forgets -ffp-contract=off. Must trip kernels-fp-contract.
+void kernel(float* out, const float* a, const float* b, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] * b[i] + out[i];
+}

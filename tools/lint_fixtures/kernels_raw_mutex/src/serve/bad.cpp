@@ -1,0 +1,15 @@
+// Seeded violation: a raw std::mutex member outside src/util/ instead of the
+// annotated util::Mutex wrapper. Must trip kernels-raw-mutex.
+#include <mutex>
+
+class Bad {
+ public:
+  void poke() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};

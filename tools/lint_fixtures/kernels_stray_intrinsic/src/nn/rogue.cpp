@@ -1,0 +1,7 @@
+// Seeded violation: an AVX2 intrinsic outside the designated
+// src/nn/simd/kernels_avx2*.cpp TUs. Must trip kernels-stray-intrinsic.
+#include <immintrin.h>
+
+void rogue(float* out, const float* a, const float* b) {
+  _mm256_storeu_ps(out, _mm256_add_ps(_mm256_loadu_ps(a), _mm256_loadu_ps(b)));
+}

@@ -1,0 +1,5 @@
+// Seeded violation: raw std::getenv of a DEEPGATE_* knob outside
+// src/util/env.cpp. Must trip knobs-raw-getenv and nothing else.
+#include <cstdlib>
+
+const char* read_knob() { return std::getenv("DEEPGATE_FIXTURE_KNOB"); }

@@ -1,0 +1,3 @@
+// No knob reads here: the violation lives in this fixture's README, which
+// documents a knob no code reads. Must trip knobs-stale-doc and nothing else.
+int nothing() { return 0; }

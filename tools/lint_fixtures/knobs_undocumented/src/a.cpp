@@ -1,0 +1,7 @@
+// Seeded violation: a knob read through the strict parser but absent from
+// README.md. Must trip knobs-undocumented and nothing else.
+namespace dg::util {
+long long env_int(const char*, long long);
+}
+
+long long read_knob() { return dg::util::env_int("DEEPGATE_FIXTURE_UNDOCUMENTED", 0); }
